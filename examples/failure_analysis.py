@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""From AFR to operator reality: failures, rebuilds, and data loss.
+
+PRESS stops at an Annualized Failure Rate.  This example carries each
+scheme's per-disk AFRs into a Monte Carlo of the failure process over a
+5-year deployment and asks the questions an operator actually budgets
+for: how many disk swaps, and what is the probability of losing data —
+without redundancy, with RAID-5 parity, and as a function of rebuild
+speed.
+"""
+
+from repro import ExperimentConfig, make_policy, run_simulation
+from repro.experiments.failures import simulate_failures
+from repro.experiments.reporting import format_table
+from repro.workload import SyntheticWorkloadConfig
+
+YEARS = 5.0
+N_DISKS = 10
+
+
+def main() -> None:
+    config = ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=1_500, n_requests=60_000, seed=13, bursty=True))
+    fileset, trace = config.generate()
+
+    print(f"simulating {N_DISKS}-disk array under each policy ...")
+    results = {name: run_simulation(make_policy(name), fileset, trace,
+                                    n_disks=N_DISKS, disk_params=config.disk_params)
+               for name in ("static-high", "read", "maid", "pdc")}
+
+    rows = []
+    for name, result in results.items():
+        afrs = [f.afr_percent for f in result.per_disk]
+        none = simulate_failures(afrs, years=YEARS, n_trials=2_000,
+                                 redundancy="none", seed=1)
+        raid_fast = simulate_failures(afrs, years=YEARS, n_trials=2_000,
+                                      redundancy="parity", repair_hours=12.0, seed=1)
+        raid_slow = simulate_failures(afrs, years=YEARS, n_trials=2_000,
+                                      redundancy="parity", repair_hours=24 * 7, seed=1)
+        rows.append({
+            "scheme": name,
+            "array_AFR_%": f"{result.array_afr_percent:.2f}",
+            f"E[swaps]/{YEARS:.0f}yr": f"{none.expected_failures:.2f}",
+            "P(loss) bare": f"{none.p_data_loss:.3f}",
+            "P(loss) RAID5 12h": f"{raid_fast.p_data_loss:.4f}",
+            "P(loss) RAID5 7d": f"{raid_slow.p_data_loss:.4f}",
+        })
+
+    print()
+    print(format_table(rows, title=f"{YEARS:.0f}-year failure outlook, {N_DISKS} disks "
+                                   "(2,000 Monte Carlo trials)"))
+    print("\nreading: redundancy absorbs most single failures, but the churny "
+          "schemes still pay in disk swaps — and their loss probability "
+          "degrades fastest when rebuilds are slow, which is exactly when "
+          "arrays are busiest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: simulate READ on a WorldCup98-like day and read the results.
+
+Runs in a few seconds.  Shows the three-step public API:
+
+1. build a workload (``ExperimentConfig`` -> ``generate()``);
+2. run a policy over it (``run_simulation``);
+3. read the metrics — performance, energy, and the PRESS reliability
+   assessment of every disk.
+"""
+
+from repro import ExperimentConfig, make_policy, run_simulation
+from repro.workload import SyntheticWorkloadConfig
+
+
+def main() -> None:
+    # A scaled-down trace day: 1,000 files, 50k whole-file web requests,
+    # Zipf-skewed popularity, bursty arrivals (see DESIGN.md for how this
+    # substitutes for the real WorldCup98-05-09 trace).
+    config = ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=1_000, n_requests=50_000, seed=1, bursty=True))
+    fileset, trace = config.generate()
+
+    stats = trace.stats(len(fileset))
+    print(f"workload: {stats.n_requests} requests over {stats.duration_s:.0f} s, "
+          f"{stats.n_files_referenced} files touched, "
+          f"top-20% files take {stats.top20_access_fraction:.0%} of accesses "
+          f"(theta = {stats.theta:.3f})")
+
+    policy = make_policy("read")          # the paper's contribution
+    result = run_simulation(policy, fileset, trace, n_disks=10,
+                            disk_params=config.disk_params)
+
+    print(f"\nREAD on a 10-disk two-speed Cheetah array:")
+    print(f"  mean response time : {result.mean_response_s * 1e3:8.2f} ms "
+          f"(p95 {result.p95_response_s * 1e3:.2f} ms)")
+    print(f"  energy consumed    : {result.total_energy_j / 1e3:8.1f} kJ "
+          f"({result.energy_kwh:.3f} kWh)")
+    print(f"  array AFR (PRESS)  : {result.array_afr_percent:8.3f} %")
+    print(f"  speed transitions  : {result.total_transitions:8d} "
+          f"(cap S = {result.policy_detail['transition_cap_per_day']}/disk/day)")
+
+    print("\nper-disk ESRRA factors (what PRESS consumed):")
+    print(f"  {'disk':>4} {'temp degC':>10} {'util %':>8} {'trans/day':>10} {'AFR %':>8}")
+    for f in result.per_disk:
+        print(f"  {f.disk_id:>4} {f.mean_temperature_c:>10.1f} "
+              f"{f.utilization_percent:>8.2f} {f.transitions_per_day:>10.1f} "
+              f"{f.afr_percent:>8.3f}")
+    worst = result.worst_disk
+    print(f"\narray AFR = least reliable disk (d{worst.disk_id}) — Sec. 3.5's max rule")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Sacrificing Reliability for Energy Saving:
+Is It Worthwhile for Disk Arrays?" (Tao Xie & Yao Sun, IPPS/IPDPS 2008).
+
+The library has two headline artifacts and the full substrate beneath
+them:
+
+* :class:`~repro.press.PRESSModel` — the PRESS reliability model
+  mapping (temperature, utilization, speed-transition frequency) to an
+  Annualized Failure Rate, per disk and per array (paper Sec. 3);
+* :class:`~repro.core.READPolicy` — the READ energy-saving strategy
+  with reliability awareness (paper Sec. 4), plus the MAID and PDC
+  baselines it is compared against (paper Sec. 5);
+* a discrete-event simulator of two-speed disk arrays
+  (:mod:`repro.sim`, :mod:`repro.disk`), workload generators and trace
+  readers (:mod:`repro.workload`), and an experiment harness that
+  regenerates every figure of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ExperimentConfig, make_policy, run_simulation
+
+    cfg = ExperimentConfig()                 # WorldCup98-like workload
+    fileset, trace = cfg.generate()
+    result = run_simulation(make_policy("read"), fileset, trace, n_disks=10)
+    print(result.summary_row())
+"""
+
+from repro.core import READConfig, READPolicy
+from repro.disk import DiskArray, DiskSpeed, TwoSpeedDiskParams, TwoSpeedDrive, cheetah_two_speed
+from repro.experiments import (
+    CostAssumptions,
+    ExperimentConfig,
+    SimulationResult,
+    evaluate_worthwhileness,
+    figure7_comparison,
+    headline_summary,
+    make_policy,
+    run_simulation,
+)
+from repro.policies import (
+    MAIDConfig,
+    MAIDPolicy,
+    PDCConfig,
+    PDCPolicy,
+    Policy,
+    StaticHighPolicy,
+    StaticLowPolicy,
+)
+from repro.press import CombinationStrategy, PRESSModel, ReliabilityIntegrator, paper_calibration
+from repro.sim import Simulator
+from repro.workload import FileSet, SyntheticWorkloadConfig, Trace, WorldCupLikeWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "READConfig",
+    "READPolicy",
+    "DiskArray",
+    "DiskSpeed",
+    "TwoSpeedDiskParams",
+    "TwoSpeedDrive",
+    "cheetah_two_speed",
+    "CostAssumptions",
+    "ExperimentConfig",
+    "SimulationResult",
+    "evaluate_worthwhileness",
+    "figure7_comparison",
+    "headline_summary",
+    "make_policy",
+    "run_simulation",
+    "MAIDConfig",
+    "MAIDPolicy",
+    "PDCConfig",
+    "PDCPolicy",
+    "Policy",
+    "StaticHighPolicy",
+    "StaticLowPolicy",
+    "CombinationStrategy",
+    "PRESSModel",
+    "ReliabilityIntegrator",
+    "paper_calibration",
+    "Simulator",
+    "FileSet",
+    "SyntheticWorkloadConfig",
+    "Trace",
+    "WorldCupLikeWorkload",
+    "__version__",
+]

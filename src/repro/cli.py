@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands mirror the library's main entry points:
+
+* ``simulate``   — run one policy over a synthetic workload, print the
+  result summary and per-disk ESRRA factors;
+* ``compare``    — the Figure 7 sweep across policies and array sizes;
+* ``press``      — evaluate the PRESS model at explicit factor values
+  (or print a Fig. 5 surface at a temperature);
+* ``worthwhile`` — the title question for one scheme vs the always-on
+  reference, in dollars per year;
+* ``report``     — write a full markdown comparison report;
+* ``trace``      — generate/inspect traces and convert WC98 binary logs.
+
+Every command is a pure function of its arguments (workloads are seeded)
+so CLI output is reproducible and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# shared argument groups
+# ----------------------------------------------------------------------
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("workload")
+    group.add_argument("--files", type=int, default=2_000,
+                       help="distinct files in the data set (default 2000)")
+    group.add_argument("--requests", type=int, default=100_000,
+                       help="trace length (default 100000)")
+    group.add_argument("--zipf-alpha", type=float, default=0.8,
+                       help="popularity skew in [0,1] (default 0.8)")
+    group.add_argument("--interarrival-ms", type=float, default=58.4,
+                       help="mean request gap, ms (paper: 58.4)")
+    group.add_argument("--seed", type=int, default=7, help="workload seed")
+    group.add_argument("--bursty", action="store_true", default=True,
+                       help="ON/OFF bursty arrivals (default on)")
+    group.add_argument("--no-bursty", dest="bursty", action="store_false",
+                       help="plain Poisson arrivals")
+    group.add_argument("--heavy", type=float, default=None, metavar="X",
+                       help="heavy condition: X-times the arrival rate")
+
+
+def _workload_config(args: argparse.Namespace):
+    from repro.workload.synthetic import SyntheticWorkloadConfig
+
+    cfg = SyntheticWorkloadConfig(
+        n_files=args.files, n_requests=args.requests,
+        zipf_alpha=args.zipf_alpha,
+        mean_interarrival_s=args.interarrival_ms / 1e3,
+        seed=args.seed, bursty=args.bursty)
+    if args.heavy is not None:
+        cfg = cfg.heavy(args.heavy)
+    return cfg
+
+
+def _policy_names() -> list[str]:
+    from repro.experiments.runner import _POLICY_REGISTRY
+
+    return sorted(_POLICY_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+
+    config = ExperimentConfig(workload=_workload_config(args))
+    fileset, trace = config.generate()
+    policy = make_policy(args.policy)
+    result = run_simulation(policy, fileset, trace, n_disks=args.disks,
+                            disk_params=config.disk_params)
+
+    print(format_table([result.summary_row()], title=f"{args.policy} on {args.disks} disks"))
+    if args.per_disk:
+        rows = [{
+            "disk": f.disk_id,
+            "temp_C": f"{f.mean_temperature_c:.1f}",
+            "util_%": f"{f.utilization_percent:.2f}",
+            "trans/day": f"{f.transitions_per_day:.1f}",
+            "AFR_%": f"{f.afr_percent:.3f}",
+        } for f in result.per_disk]
+        print()
+        print(format_table(rows, title="per-disk ESRRA factors"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure7_comparison, headline_summary
+    from repro.experiments.reporting import format_series
+    from repro.experiments.runner import ExperimentConfig
+
+    config = ExperimentConfig(workload=_workload_config(args))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies)
+
+    x = np.array(fig7.disk_counts, dtype=float)
+    print(format_series(x, fig7.series("afr"), x_label="disks",
+                        title="array AFR [%]"))
+    print()
+    print(format_series(x, {k: v / 1e3 for k, v in fig7.series("energy").items()},
+                        x_label="disks", title="energy [kJ]"))
+    print()
+    print(format_series(x, {k: v * 1e3 for k, v in fig7.series("response").items()},
+                        x_label="disks", title="mean response [ms]"))
+    if args.baseline and args.baseline in policies:
+        print()
+        summary = headline_summary(fig7, baseline=args.baseline)
+        for metric, stats in summary.items():
+            parts = ", ".join(f"{k.replace('vs_', '').replace('_%', '')} {v:+.1f}%"
+                              for k, v in stats.items())
+            print(f"{args.baseline} improvement, {metric}: {parts}")
+    return 0
+
+
+def _cmd_press(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.press.model import PRESSModel
+
+    press = PRESSModel()
+    if args.surface is not None:
+        utils = np.linspace(25, 100, 4)
+        freqs = np.linspace(0, 1600, 5)
+        surface = press.afr_surface(args.surface, utils, freqs)
+        rows = []
+        for i, u in enumerate(utils):
+            row = {"util_%": f"{u:.0f}"}
+            for j, f in enumerate(freqs):
+                row[f"f={f:.0f}/d"] = f"{surface[i, j]:.2f}"
+            rows.append(row)
+        print(format_table(rows, title=f"PRESS AFR % at {args.surface:.0f} degC"))
+        return 0
+
+    afr = press.disk_afr(args.temp, args.util, args.freq)
+    print(f"PRESS AFR({args.temp:.1f} degC, {args.util:.1f}% util, "
+          f"{args.freq:.1f} transitions/day) = {afr:.3f} %")
+    return 0
+
+
+def _cmd_worthwhile(args: argparse.Namespace) -> int:
+    from repro.experiments.costmodel import CostAssumptions, evaluate_worthwhileness
+    from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+
+    config = ExperimentConfig(workload=_workload_config(args))
+    fileset, trace = config.generate()
+    scheme = run_simulation(make_policy(args.scheme), fileset, trace,
+                            n_disks=args.disks, disk_params=config.disk_params)
+    reference = run_simulation(make_policy(args.reference), fileset, trace,
+                               n_disks=args.disks, disk_params=config.disk_params)
+    assumptions = CostAssumptions(
+        electricity_usd_per_kwh=args.electricity,
+        disk_replacement_usd=args.disk_price,
+        data_loss_cost_usd=args.data_value)
+    verdict = evaluate_worthwhileness(scheme, reference, assumptions)
+    print(f"{args.scheme} vs {args.reference} on {args.disks} disks:")
+    print(f"  energy saving      : {verdict.energy_saving_usd_per_year:+,.0f} $/yr")
+    print(f"  extra failure cost : {verdict.extra_failure_cost_usd_per_year:+,.0f} $/yr")
+    print(f"  net benefit        : {verdict.net_benefit_usd_per_year:+,.0f} $/yr")
+    print(f"  worthwhile         : {'YES' if verdict.worthwhile else 'no'}")
+    return 0 if verdict.worthwhile else 3
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure7_comparison
+    from repro.experiments.report import write_markdown_report
+    from repro.experiments.runner import ExperimentConfig
+
+    config = ExperimentConfig(workload=_workload_config(args))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies)
+    path = write_markdown_report(fig7, args.out, baseline=args.baseline or None)
+    print(f"wrote report -> {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload.synthetic import WorldCupLikeWorkload
+    from repro.workload.trace import Trace
+    from repro.workload.wc98 import read_wc98, wc98_to_trace
+
+    if args.trace_command == "generate":
+        workload = WorldCupLikeWorkload(_workload_config(args))
+        fileset, trace = workload.generate()
+        trace.to_csv(args.out)
+        print(f"wrote {len(trace)} requests over {trace.duration_s:.0f} s "
+              f"({len(fileset)} files) -> {args.out}")
+        return 0
+
+    if args.trace_command == "info":
+        from repro.workload.analysis import analyze_trace
+
+        trace = Trace.from_csv(args.path)
+        stats = trace.stats()
+        print(f"requests          : {stats.n_requests}")
+        print(f"files referenced  : {stats.n_files_referenced}")
+        print(f"duration          : {stats.duration_s:.1f} s")
+        print(f"mean inter-arrival: {stats.mean_interarrival_s * 1e3:.2f} ms")
+        print(f"top-20% share     : {stats.top20_access_fraction:.1%}")
+        print(f"theta             : {stats.theta:.4f}")
+        print(f"zipf alpha (fit)  : {stats.zipf_alpha:.3f}")
+        window = max(stats.duration_s / 20.0, 1.0)
+        analysis = analyze_trace(trace, stats.n_files_referenced
+                                 if trace.file_ids.max() < stats.n_files_referenced
+                                 else int(trace.file_ids.max()) + 1,
+                                 window_s=window)
+        print(f"windowed ({analysis.window_s:.0f} s x {analysis.n_windows}):")
+        print(f"  burstiness (IoD)  : {analysis.index_of_dispersion:.2f}")
+        print(f"  mean working set  : {analysis.mean_working_set:.0f} files")
+        print(f"  popularity corr   : {analysis.mean_rank_correlation:.3f}")
+        print(f"  top-50 overlap    : {analysis.mean_topk_jaccard:.3f}")
+        return 0
+
+    if args.trace_command == "convert-wc98":
+        records = read_wc98(args.path, max_records=args.max_records)
+        fileset, trace = wc98_to_trace(records)
+        trace.to_csv(args.out)
+        print(f"decoded {len(records)} records -> {len(trace)} requests, "
+              f"{len(fileset)} files; trace -> {args.out}")
+        return 0
+
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRESS + READ disk-array energy/reliability toolkit "
+                    "(reproduction of Xie & Sun, IPPS 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one policy over a synthetic workload")
+    p_sim.add_argument("--policy", choices=_policy_names(), default="read")
+    p_sim.add_argument("--disks", type=int, default=10)
+    p_sim.add_argument("--per-disk", action="store_true",
+                       help="also print per-disk ESRRA factors")
+    _add_workload_args(p_sim)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="Figure 7 style policy comparison")
+    p_cmp.add_argument("--policies", default="read,maid,pdc",
+                       help="comma-separated policy names")
+    p_cmp.add_argument("--disks", default="6,10,16",
+                       help="comma-separated array sizes")
+    p_cmp.add_argument("--baseline", default="read",
+                       help="policy to compute improvements for ('' = none)")
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_press = sub.add_parser("press", help="evaluate the PRESS reliability model")
+    p_press.add_argument("--temp", type=float, default=50.0, help="degC")
+    p_press.add_argument("--util", type=float, default=30.0, help="percent")
+    p_press.add_argument("--freq", type=float, default=0.0, help="transitions/day")
+    p_press.add_argument("--surface", type=float, default=None, metavar="TEMP_C",
+                         help="print the Fig. 5 surface at this temperature instead")
+    p_press.set_defaults(func=_cmd_press)
+
+    p_worth = sub.add_parser("worthwhile", help="the title question, in dollars")
+    p_worth.add_argument("--scheme", choices=_policy_names(), default="read")
+    p_worth.add_argument("--reference", choices=_policy_names(), default="static-high")
+    p_worth.add_argument("--disks", type=int, default=10)
+    p_worth.add_argument("--electricity", type=float, default=0.10,
+                         help="$ per kWh (default 0.10)")
+    p_worth.add_argument("--disk-price", type=float, default=300.0)
+    p_worth.add_argument("--data-value", type=float, default=5_000.0,
+                         help="expected $ cost of data lost with a disk")
+    _add_workload_args(p_worth)
+    p_worth.set_defaults(func=_cmd_worthwhile)
+
+    p_rep = sub.add_parser("report", help="write a markdown comparison report")
+    p_rep.add_argument("--out", required=True, help="output markdown path")
+    p_rep.add_argument("--policies", default="read,maid,pdc,static-high")
+    p_rep.add_argument("--disks", default="6,10,16")
+    p_rep.add_argument("--baseline", default="read")
+    _add_workload_args(p_rep)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_trace = sub.add_parser("trace", help="generate/inspect/convert traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_gen = trace_sub.add_parser("generate", help="synthesize a trace to CSV")
+    t_gen.add_argument("--out", required=True, help="output CSV path")
+    _add_workload_args(t_gen)
+    t_gen.set_defaults(func=_cmd_trace)
+
+    t_info = trace_sub.add_parser("info", help="summarize a CSV trace")
+    t_info.add_argument("path", help="trace CSV path")
+    t_info.set_defaults(func=_cmd_trace)
+
+    t_conv = trace_sub.add_parser("convert-wc98",
+                                  help="decode a WC98 binary log to CSV")
+    t_conv.add_argument("path", help="WC98 binary file")
+    t_conv.add_argument("--out", required=True, help="output CSV path")
+    t_conv.add_argument("--max-records", type=int, default=None)
+    t_conv.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

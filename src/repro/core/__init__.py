@@ -1,0 +1,59 @@
+"""READ — Reliability and Energy Aware Distribution (paper Sec. 4).
+
+READ is the paper's contribution: a workload-skew energy scheme designed
+*around* the PRESS model's insights (Sec. 3.5) —
+
+1. speed-transition frequency dominates reliability, so READ caps each
+   disk's transitions per day (budget S) and adaptively doubles the
+   idleness threshold H once half the budget is spent;
+2. long high-speed residence drives temperature, handled by splitting
+   the array once into a hot zone (high speed) and cold zone (low
+   speed) sized by the workload's load ratio rather than by churning
+   speeds;
+3. utilization imbalance matters least, but READ still redistributes
+   files every epoch (the File Redistribution Daemon) to keep the
+   distribution even within each zone.
+
+Module map: :mod:`popularity` (theta/delta/gamma math, Eqs. 4-5 and the
+popular/unpopular split), :mod:`placement` (zone sizing + round-robin
+layout), :mod:`migration` (FRD epoch planning), :mod:`read_strategy`
+(the :class:`~repro.policies.base.Policy` implementation, Fig. 6).
+"""
+
+from repro.core.popularity import (
+    PopularitySplit,
+    popular_file_count,
+    split_by_popularity,
+    popular_unpopular_ratio_delta,
+    zone_load_ratio_gamma,
+    estimate_file_loads,
+)
+from repro.core.placement import ZoneLayout, compute_zone_layout, round_robin_zone_placement
+from repro.core.migration import MigrationPlan, plan_migrations
+from repro.core.read_strategy import READConfig, READPolicy
+from repro.core.extensions import (
+    ReplicatingREADConfig,
+    ReplicatingREADPolicy,
+    RotatingREADConfig,
+    RotatingREADPolicy,
+)
+
+__all__ = [
+    "PopularitySplit",
+    "popular_file_count",
+    "split_by_popularity",
+    "popular_unpopular_ratio_delta",
+    "zone_load_ratio_gamma",
+    "estimate_file_loads",
+    "ZoneLayout",
+    "compute_zone_layout",
+    "round_robin_zone_placement",
+    "MigrationPlan",
+    "plan_migrations",
+    "READConfig",
+    "READPolicy",
+    "RotatingREADConfig",
+    "RotatingREADPolicy",
+    "ReplicatingREADConfig",
+    "ReplicatingREADPolicy",
+]

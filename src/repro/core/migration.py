@@ -1,0 +1,110 @@
+"""READ's File Redistribution Daemon planning (Fig. 6, lines 8-19).
+
+At the end of each epoch the FRD re-sorts all files by their FPT access
+counts, re-computes theta, re-splits popular/unpopular, and migrates:
+
+* previously-hot files that fell out of the popular set -> cold zone;
+* previously-cold files that entered the popular set   -> hot zone.
+
+Planning is a pure function (placement in, moves out) so it can be unit-
+and property-tested without a simulator; execution — issuing the actual
+migration I/O — stays in the policy.  Destinations are chosen least-
+loaded-first within the target zone, the dynamic analogue of the initial
+round-robin deal (it keeps the zone's utilization even, PRESS insight 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.placement import ZoneLayout
+from repro.core.popularity import PopularitySplit
+from repro.util.validation import require
+
+__all__ = ["MigrationPlan", "plan_migrations"]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationPlan:
+    """The FRD's output for one epoch: an ordered list of file moves."""
+
+    #: (file_id, destination_disk) pairs, hottest movers first.
+    moves: tuple[tuple[int, int], ...] = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    @property
+    def file_ids(self) -> list[int]:
+        """Files being moved, in execution order."""
+        return [fid for fid, _dst in self.moves]
+
+
+def plan_migrations(split: PopularitySplit, layout: ZoneLayout,
+                    placement: np.ndarray, zone_load_mb: np.ndarray,
+                    sizes_mb: np.ndarray, capacity_mb: float, *,
+                    max_moves: int | None = None) -> MigrationPlan:
+    """Plan the epoch's hot<->cold corrections.
+
+    Parameters
+    ----------
+    split:
+        The epoch's fresh popular/unpopular partition (popular first =
+        hottest first, which orders the move list).
+    layout:
+        The fixed zone layout (Fig. 6 computes zones once, before the
+        epoch loop).
+    placement:
+        Current ``file_id -> disk_id`` map.
+    zone_load_mb:
+        Current per-disk stored MB (destination balancing input).
+    sizes_mb / capacity_mb:
+        File sizes and per-disk capacity for feasibility checks.
+    max_moves:
+        Optional cap on the epoch's move count (cost control; the paper
+        flags "high file redistribution cost" as the failure mode of
+        fully dynamic workloads).
+
+    Moves that cannot fit anywhere in their target zone are skipped
+    rather than spilled — a file serving from the "wrong" zone is a
+    performance wart, a disk over capacity is a correctness bug.
+    """
+    place = np.asarray(placement, dtype=np.int64)
+    sizes = np.asarray(sizes_mb, dtype=np.float64)
+    require(place.size == split.n_files and sizes.size == split.n_files,
+            "placement/sizes must cover the whole population")
+    load = np.asarray(zone_load_mb, dtype=np.float64).copy()
+    require(load.size == layout.n_disks, "zone_load_mb must have one entry per disk")
+
+    popular_mask = split.is_popular()
+    moves: list[tuple[int, int]] = []
+
+    def best_destination(zone: np.ndarray, size: float) -> int | None:
+        candidates = zone[capacity_mb - load[zone] >= size]
+        if candidates.size == 0:
+            return None
+        return int(candidates[np.argmin(load[candidates])])
+
+    def consider(fid: int, target_zone: np.ndarray) -> None:
+        if max_moves is not None and len(moves) >= max_moves:
+            return
+        size = float(sizes[fid])
+        dst = best_destination(target_zone, size)
+        if dst is None:
+            return
+        src = int(place[fid])
+        load[src] -= size
+        load[dst] += size
+        moves.append((int(fid), dst))
+
+    # hottest movers first: popular ids are already in rank order
+    for fid in split.popular_ids:
+        if not layout.is_hot(int(place[fid])):
+            consider(int(fid), layout.hot_ids)
+    for fid in split.unpopular_ids:
+        if layout.is_hot(int(place[fid])):
+            consider(int(fid), layout.cold_ids)
+
+    return MigrationPlan(moves=tuple(moves))

@@ -1,0 +1,377 @@
+"""The two-speed drive state machine.
+
+One drive is, at any instant, in exactly one *phase* —
+
+* ``IDLE``          — spinning at its current speed, queue empty;
+* ``BUSY``          — transferring one job (FCFS, single actuator);
+* ``TRANSITIONING`` — switching spindle speed; serves nothing (Sec. 4:
+  "no requests can be served when a disk is switching its speed").
+
+Transitions between phases drive three side ledgers in lock-step: the
+:class:`~repro.disk.energy.EnergyMeter` (power state residency), the
+:class:`~repro.disk.thermal.ThermalModel` (temperature trajectory), and
+:class:`~repro.disk.stats.DiskStats` (throughput and transition counts).
+The pattern is *account-then-change*: every state change first charges
+the elapsed interval to the outgoing state, so the ledgers are exact by
+construction and ``sum(state times) == power-on time`` is an invariant
+the test suite checks.
+
+Speed-change semantics
+----------------------
+Policies call :meth:`TwoSpeedDrive.request_speed`.  A request for the
+current speed is a no-op (and clears any opposite pending request).  If
+the drive is idle the transition starts immediately; if it is busy the
+transition is *deferred* and starts when the in-flight transfer
+completes — queued jobs then wait out the transition and resume at the
+new speed.  This matches the paper's model where a spin-up triggered by
+queued work delays that work by the transition time.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.disk.energy import DiskPowerState, EnergyMeter
+from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
+from repro.disk.stats import DiskStats
+from repro.disk.thermal import ThermalModel
+from repro.sim.engine import Simulator
+from repro.util.validation import require_positive
+from repro.workload.request import Request
+
+__all__ = ["DrivePhase", "Job", "TwoSpeedDrive"]
+
+
+class DrivePhase(enum.Enum):
+    """Mutually exclusive operating phases of a drive."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+    TRANSITIONING = "transitioning"
+
+
+class QueueDiscipline(enum.Enum):
+    """How a drive picks the next job from its queue.
+
+    FCFS is the paper's (implicit) model and the default everywhere.
+    SJF (shortest job first, non-preemptive) is provided for the classic
+    mean-response-vs-tail trade-off ablation on heavy-tailed web sizes:
+    it lowers the mean by letting small files jump the large-transfer
+    queue, at the cost of large files' tail latency.
+    """
+
+    FCFS = "fcfs"
+    SJF = "sjf"
+
+
+@dataclass(slots=True)
+class Job:
+    """A unit of disk work: either a user request or internal data movement.
+
+    Internal jobs (MAID cache copies, PDC/READ migrations) consume disk
+    time and energy exactly like user requests but are excluded from
+    response-time metrics — the paper charges migration overhead to
+    energy and queueing, not to the response-time average directly.
+    """
+
+    size_mb: float
+    internal: bool = False
+    request: Optional[Request] = None
+    on_complete: Optional[Callable[["Job"], None]] = None
+    enqueue_time: float = field(default=-1.0)
+    service_start: float = field(default=-1.0)
+    completion_time: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        require_positive(self.size_mb, "size_mb")
+
+    @classmethod
+    def for_request(cls, request: Request,
+                    on_complete: Optional[Callable[["Job"], None]] = None) -> "Job":
+        """Wrap a user request into a schedulable job."""
+        return cls(size_mb=request.size_mb, internal=False, request=request,
+                   on_complete=on_complete)
+
+    @classmethod
+    def internal_transfer(cls, size_mb: float,
+                          on_complete: Optional[Callable[["Job"], None]] = None) -> "Job":
+        """A policy-generated transfer (migration read/write, cache copy)."""
+        return cls(size_mb=size_mb, internal=True, on_complete=on_complete)
+
+
+class TwoSpeedDrive:
+    """Event-driven model of one two-speed disk.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulation kernel.
+    params:
+        Device characteristics (see :func:`repro.disk.cheetah_two_speed`).
+    disk_id:
+        Dense index within the array.
+    initial_speed:
+        Spindle speed at t = 0 (policies configure zones before traffic).
+    on_idle / on_busy:
+        Optional hooks fired when the queue drains (arm an idleness
+        timer) and when the drive leaves idle for work (cancel it).
+    """
+
+    #: Event priority for job completions — fire before same-time timers.
+    _PRIO_COMPLETE = 0
+    #: Event priority for transition completions.
+    _PRIO_TRANSITION = 1
+
+    def __init__(self, sim: Simulator, params: TwoSpeedDiskParams, disk_id: int, *,
+                 initial_speed: DiskSpeed = DiskSpeed.HIGH,
+                 queue_discipline: QueueDiscipline = QueueDiscipline.FCFS,
+                 on_idle: Optional[Callable[[int], None]] = None,
+                 on_busy: Optional[Callable[[int], None]] = None) -> None:
+        self._sim = sim
+        self.params = params
+        self.disk_id = disk_id
+        self.queue_discipline = queue_discipline
+        self.on_idle = on_idle
+        self.on_busy = on_busy
+
+        self._speed = initial_speed
+        self._phase = DrivePhase.IDLE
+        self._transition_target: Optional[DiskSpeed] = None
+        self._pending_target: Optional[DiskSpeed] = None
+        self._queue: deque[Job] = deque()
+        self._current: Optional[Job] = None
+
+        self.stats = DiskStats(disk_id)
+        self.energy = EnergyMeter(params)
+        # Drives were already spinning before the trace window opens, so
+        # they start at their speed's steady temperature, not at ambient
+        # (a cold start would understate every policy's temperature AFR
+        # on short traces).
+        self.thermal = ThermalModel(initial_c=params.mode(initial_speed).steady_temp_c)
+        self._last_account_s = sim.now
+        self._start_time_s = sim.now
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def speed(self) -> DiskSpeed:
+        """Current spindle speed (the *origin* speed while transitioning)."""
+        return self._speed
+
+    @property
+    def phase(self) -> DrivePhase:
+        """Current operating phase."""
+        return self._phase
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when spinning idle with an empty queue."""
+        return self._phase is DrivePhase.IDLE
+
+    @property
+    def effective_target_speed(self) -> DiskSpeed:
+        """The speed the drive is at or headed to (incl. deferred requests)."""
+        if self._pending_target is not None:
+            return self._pending_target
+        if self._transition_target is not None:
+            return self._transition_target
+        return self._speed
+
+    def power_on_time_s(self) -> float:
+        """Seconds since this drive was created (all states count as on)."""
+        return self._sim.now - self._start_time_s
+
+    def utilization(self) -> float:
+        """Active-time fraction per the paper's Sec. 3.3 definition.
+
+        Includes time-in-flight of the current job only after accounting,
+        so call :meth:`finalize` (or read after a state change) for exact
+        end-of-run values.
+        """
+        elapsed = self.power_on_time_s()
+        if elapsed <= 0.0:
+            return 0.0
+        return min(self.energy.active_time_s / elapsed, 1.0)
+
+    def estimated_wait_s(self) -> float:
+        """Crude wait estimate: queued work at the current speed plus any
+        remaining transition time.  Policies use this for spin-up
+        decisions; it deliberately ignores the in-flight job's residual.
+        """
+        mode = self.params.mode(self.effective_target_speed)
+        backlog = sum(mode.service_time_s(j.size_mb) for j in self._queue)
+        if self._phase is DrivePhase.TRANSITIONING:
+            backlog += self.params.transition_time_s  # upper bound on residual
+        return backlog
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _current_power_state(self) -> DiskPowerState:
+        if self._phase is DrivePhase.TRANSITIONING:
+            return DiskPowerState.TRANSITION
+        return DiskPowerState.of(self._phase is DrivePhase.BUSY, self._speed)
+
+    def _steady_temp_c(self) -> float:
+        if self._phase is DrivePhase.TRANSITIONING:
+            assert self._transition_target is not None
+            return self.params.mode(self._transition_target).steady_temp_c
+        return self.params.mode(self._speed).steady_temp_c
+
+    def _account(self) -> None:
+        """Charge the interval since the last state change to that state."""
+        now = self._sim.now
+        dt = now - self._last_account_s
+        if dt > 0.0:
+            self.energy.accumulate(self._current_power_state(), dt)
+            self.thermal.advance(dt, self._steady_temp_c())
+        self._last_account_s = now
+
+    def finalize(self) -> None:
+        """Flush accounting up to the current simulation time.
+
+        Call once at the end of a run before reading energy, utilization,
+        or temperature; safe to call repeatedly.
+        """
+        self._account()
+
+    # ------------------------------------------------------------------
+    # work submission
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Enqueue a job; service starts immediately if the drive is idle."""
+        job.enqueue_time = self._sim.now
+        self._queue.append(job)
+        if self._phase is DrivePhase.IDLE:
+            if self.on_busy is not None:
+                self.on_busy(self.disk_id)
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # speed control
+    # ------------------------------------------------------------------
+    def force_speed(self, target: DiskSpeed) -> None:
+        """Pre-deployment speed configuration: instant, free, uncounted.
+
+        Policies use this during ``initial_layout`` to set up zones (READ
+        "configures HD disks to high speed mode and CD disks to low
+        speed mode" before traffic starts); it is *not* a runtime
+        transition, so it charges no time, energy, or transition count.
+        Only legal while the drive is idle with an empty queue.
+        """
+        if self._phase is not DrivePhase.IDLE or self._queue:
+            raise RuntimeError("force_speed is only valid on an idle, empty drive")
+        self._account()
+        self._speed = target
+        self._pending_target = None
+        if self._sim.now == self._start_time_s:
+            # pre-traffic configuration: the drive has "always" been at
+            # this speed, so it starts at the matching steady temperature
+            self.thermal.reset(temperature_c=self.params.mode(target).steady_temp_c)
+
+    def request_speed(self, target: DiskSpeed) -> bool:
+        """Ask the drive to move to ``target`` speed.
+
+        Returns ``True`` if a transition was started or newly deferred,
+        ``False`` if it was a no-op (already there / already heading
+        there).  The caller (policy) is responsible for any transition
+        budget checks *before* calling.
+        """
+        if self._phase is DrivePhase.TRANSITIONING:
+            if self._transition_target is target:
+                self._pending_target = None
+                return False
+            # reversal while mid-transition: remember it for completion time
+            self._pending_target = target
+            return True
+        if self._speed is target:
+            self._pending_target = None
+            return False
+        if self._phase is DrivePhase.BUSY:
+            if self._pending_target is target:
+                return False
+            self._pending_target = target
+            return True
+        self._begin_transition(target)
+        return True
+
+    def _begin_transition(self, target: DiskSpeed) -> None:
+        assert self._phase is DrivePhase.IDLE
+        self._account()
+        self._phase = DrivePhase.TRANSITIONING
+        self._transition_target = target
+        self._pending_target = None
+        self.stats.record_transition(self._sim.now)
+        self._sim.schedule(self.params.transition_time_s, self._end_transition,
+                           priority=self._PRIO_TRANSITION)
+
+    def _end_transition(self) -> None:
+        assert self._transition_target is not None
+        self._account()
+        self._speed = self._transition_target
+        self._transition_target = None
+        self._phase = DrivePhase.IDLE
+        if self._pending_target is not None and self._pending_target is not self._speed:
+            target, self._pending_target = self._pending_target, None
+            self._begin_transition(target)
+            return
+        self._pending_target = None
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """From IDLE, start pending transition or next job (or stay idle)."""
+        assert self._phase is DrivePhase.IDLE
+        if self._pending_target is not None and self._pending_target is not self._speed:
+            target, self._pending_target = self._pending_target, None
+            self._begin_transition(target)
+            return
+        self._pending_target = None
+        if not self._queue:
+            if self.on_idle is not None:
+                self.on_idle(self.disk_id)
+            return
+        job = self._pick_next()
+        self._account()
+        self._phase = DrivePhase.BUSY
+        self._current = job
+        job.service_start = self._sim.now
+        if job.request is not None:
+            job.request.service_start = self._sim.now
+            job.request.served_by = self.disk_id
+        service_s = self.params.mode(self._speed).service_time_s(job.size_mb)
+        self._sim.schedule(service_s, self._complete, priority=self._PRIO_COMPLETE)
+
+    def _pick_next(self) -> Job:
+        """Dequeue per the configured discipline (FIFO ties under SJF)."""
+        if self.queue_discipline is QueueDiscipline.FCFS or len(self._queue) == 1:
+            return self._queue.popleft()
+        best = min(range(len(self._queue)), key=lambda i: self._queue[i].size_mb)
+        job = self._queue[best]
+        del self._queue[best]
+        return job
+
+    def _complete(self) -> None:
+        job = self._current
+        assert job is not None and self._phase is DrivePhase.BUSY
+        self._account()
+        self._phase = DrivePhase.IDLE
+        self._current = None
+        job.completion_time = self._sim.now
+        if job.request is not None:
+            job.request.completion_time = self._sim.now
+        self.stats.record_service(job.size_mb, job.internal)
+        if job.on_complete is not None:
+            job.on_complete(job)
+        self._dispatch()

@@ -1,0 +1,79 @@
+"""Per-drive operating statistics consumed by PRESS and the reports.
+
+The three ESRRA factors the PRESS model needs per disk (Sec. 3) map to:
+
+* operating temperature  -> the thermal model's time-weighted mean;
+* utilization            -> active time / power-on time (Sec. 3.3's
+  definition, verbatim);
+* speed-transition freq. -> transitions normalized to a per-day rate.
+
+``DiskStats`` also tracks served-request counters used by the
+performance metrics and by policies (READ's FPT is file-level and lives
+in :mod:`repro.core.popularity`; this is the disk-level view).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.units import SECONDS_PER_DAY
+from repro.util.validation import require_non_negative, require_positive
+
+__all__ = ["DiskStats"]
+
+
+@dataclass
+class DiskStats:
+    """Mutable per-drive counters updated by the drive state machine."""
+
+    disk_id: int
+    requests_served: int = 0
+    internal_jobs_served: int = 0
+    mb_served: float = 0.0
+    speed_transitions_total: int = 0
+    #: Transition counts bucketed by simulated day index (floor(t / 86400)).
+    transitions_by_day: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    # ------------------------------------------------------------------
+    def record_service(self, size_mb: float, internal: bool) -> None:
+        """Count one completed job of ``size_mb``."""
+        require_positive(size_mb, "size_mb")
+        self.mb_served += size_mb
+        if internal:
+            self.internal_jobs_served += 1
+        else:
+            self.requests_served += 1
+
+    def record_transition(self, at_time_s: float) -> None:
+        """Count one speed transition occurring at simulated ``at_time_s``."""
+        require_non_negative(at_time_s, "at_time_s")
+        self.speed_transitions_total += 1
+        self.transitions_by_day[int(at_time_s // SECONDS_PER_DAY)] += 1
+
+    # ------------------------------------------------------------------
+    def transitions_on_day(self, day_index: int) -> int:
+        """Transitions recorded during one simulated day."""
+        return self.transitions_by_day.get(day_index, 0)
+
+    def max_transitions_per_day(self) -> int:
+        """Worst single-day transition count (0 when none occurred)."""
+        return max(self.transitions_by_day.values(), default=0)
+
+    def transitions_per_day(self, duration_s: float) -> float:
+        """Transition count normalized to a per-day rate.
+
+        For simulations shorter than a day this extrapolates linearly —
+        the paper's frequency-reliability function is defined on
+        transitions *per day*, and its own experiments replay a fraction
+        of a day (Sec. 5.1), implying the same normalization.
+        """
+        require_positive(duration_s, "duration_s")
+        return self.speed_transitions_total * SECONDS_PER_DAY / duration_s
+
+    def utilization(self, active_time_s: float, power_on_time_s: float) -> float:
+        """The paper's utilization: active time / power-on time (Sec. 3.3)."""
+        require_non_negative(active_time_s, "active_time_s")
+        require_positive(power_on_time_s, "power_on_time_s")
+        util = active_time_s / power_on_time_s
+        return min(util, 1.0)

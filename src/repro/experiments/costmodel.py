@@ -1,0 +1,126 @@
+"""The title question, in dollars: is the energy saving worth the
+reliability loss?
+
+Section 3.5 argues qualitatively that "the value of lost data plus the
+price of failed disks substantially outweigh the energy-saving gained"
+when transition frequency is high.  This module makes that argument
+computable: compare two simulation results (an energy-saving scheme vs
+a reference) by converting
+
+* the energy difference into dollars at an electricity price, and
+* the AFR difference into expected annual failure cost
+  (failures/year x [disk replacement + expected data-loss cost]),
+
+both normalized to one year of operation at the simulated duty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.metrics import SimulationResult
+from repro.util.units import SECONDS_PER_YEAR, joules_to_kwh
+from repro.util.validation import require, require_non_negative, require_positive
+
+__all__ = ["CostAssumptions", "WorthwhileVerdict", "evaluate_worthwhileness"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostAssumptions:
+    """Economic inputs (2008-era defaults, all USD).
+
+    ``data_loss_cost_usd`` is the *expected* cost of the data lost with
+    a failed disk after accounting for whatever redundancy exists;
+    reliability-critical sites (the paper's OLTP/Web examples) set this
+    high, scratch storage sets it near zero.
+    """
+
+    electricity_usd_per_kwh: float = 0.10
+    disk_replacement_usd: float = 300.0
+    data_loss_cost_usd: float = 5_000.0
+    #: Overhead multiplier for cooling etc. (1.0 = none); data-center
+    #: practice charges ~2x the IT load.
+    power_overhead_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.electricity_usd_per_kwh, "electricity_usd_per_kwh")
+        require_non_negative(self.disk_replacement_usd, "disk_replacement_usd")
+        require_non_negative(self.data_loss_cost_usd, "data_loss_cost_usd")
+        require(self.power_overhead_factor >= 1.0,
+                f"power_overhead_factor must be >= 1, got {self.power_overhead_factor}")
+
+    @property
+    def failure_cost_usd(self) -> float:
+        """Total expected cost of one disk failure."""
+        return self.disk_replacement_usd + self.data_loss_cost_usd
+
+
+@dataclass(frozen=True, slots=True)
+class WorthwhileVerdict:
+    """The annualized comparison of a scheme against a reference."""
+
+    scheme: str
+    reference: str
+    energy_saving_usd_per_year: float
+    extra_failure_cost_usd_per_year: float
+
+    @property
+    def net_benefit_usd_per_year(self) -> float:
+        """Positive when the scheme pays for its reliability loss."""
+        return self.energy_saving_usd_per_year - self.extra_failure_cost_usd_per_year
+
+    @property
+    def worthwhile(self) -> bool:
+        """The paper's question, answered for these assumptions."""
+        return self.net_benefit_usd_per_year > 0.0
+
+
+def _annualize(j: float, duration_s: float) -> float:
+    return j * SECONDS_PER_YEAR / duration_s
+
+
+def expected_failures_per_year(afr_percent: float, n_disks: int) -> float:
+    """Expected disk failures per year for an array at a uniform AFR.
+
+    Conservative reading of the paper's array-AFR convention: the max
+    per-disk AFR is applied to every disk (the array is "only as
+    reliable as its least reliable disk").
+    """
+    require_non_negative(afr_percent, "afr_percent")
+    require(n_disks >= 1, f"n_disks must be >= 1, got {n_disks}")
+    return afr_percent / 100.0 * n_disks
+
+
+def evaluate_worthwhileness(scheme: SimulationResult, reference: SimulationResult,
+                            assumptions: CostAssumptions | None = None) -> WorthwhileVerdict:
+    """Compare an energy-saving scheme against a reference run.
+
+    Both results must come from the same trace and array size (the
+    function refuses apples-to-oranges comparisons).  Energy and failure
+    deltas are annualized from the simulated duration; a *negative*
+    energy saving (the scheme used more energy) and a *negative* extra
+    failure cost (the scheme is more reliable) are both legal and simply
+    flow through the net-benefit sign.
+    """
+    a = assumptions or CostAssumptions()
+    require(scheme.n_disks == reference.n_disks,
+            "scheme and reference must use the same array size")
+    require(scheme.n_requests == reference.n_requests,
+            "scheme and reference must replay the same trace")
+
+    saved_j_per_year = (_annualize(reference.total_energy_j, reference.duration_s)
+                        - _annualize(scheme.total_energy_j, scheme.duration_s))
+    energy_usd = (joules_to_kwh(saved_j_per_year) * a.electricity_usd_per_kwh
+                  * a.power_overhead_factor)
+
+    extra_failures = (expected_failures_per_year(scheme.array_afr_percent, scheme.n_disks)
+                      - expected_failures_per_year(reference.array_afr_percent,
+                                                   reference.n_disks))
+    failure_usd = extra_failures * a.failure_cost_usd
+
+    return WorthwhileVerdict(
+        scheme=scheme.policy_name,
+        reference=reference.policy_name,
+        energy_saving_usd_per_year=energy_usd,
+        extra_failure_cost_usd_per_year=failure_usd,
+    )

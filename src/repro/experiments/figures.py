@@ -1,0 +1,143 @@
+"""Per-figure reproduction functions (the experiment index of DESIGN.md).
+
+Each ``figureNN_*`` function returns the data series of the matching
+paper figure; the benchmark files under ``benchmarks/`` call these and
+print the rows.  Figures 2-5 are model curves (fast, deterministic);
+Figure 7 is the trace-driven policy comparison (the expensive sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.metrics import SimulationResult
+from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.press.frequency import FrequencyReliability
+from repro.press.model import PRESSModel
+from repro.press.temperature import TemperatureReliability
+from repro.press.utilization import UtilizationReliability
+from repro.util.validation import require
+
+__all__ = [
+    "figure2b_series",
+    "figure3b_series",
+    "figure4a_series",
+    "figure4b_series",
+    "figure5_surface",
+    "Figure7Results",
+    "figure7_comparison",
+    "headline_summary",
+]
+
+#: The array sizes of the paper's sweep (Sec. 5.1: "from 6 to 16").
+PAPER_DISK_COUNTS: tuple[int, ...] = (6, 8, 10, 12, 14, 16)
+#: The three compared algorithms (Sec. 5).
+PAPER_POLICIES: tuple[str, ...] = ("read", "maid", "pdc")
+
+
+def figure2b_series(n_points: int = 26) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 2b: temperature-reliability function (AFR % vs degC)."""
+    return TemperatureReliability().curve(n_points)
+
+
+def figure3b_series(n_points: int = 16) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 3b: utilization-reliability function (AFR % vs util %)."""
+    return UtilizationReliability().curve(n_points)
+
+
+def figure4a_series(n_points: int = 17) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 4a: extended IDEMA start/stop adder (AFR % vs events/day)."""
+    return FrequencyReliability().idema_curve(n_points)
+
+
+def figure4b_series(n_points: int = 17) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 4b: frequency-reliability function, Eq. 3 (AFR % vs /day)."""
+    return FrequencyReliability().curve(n_points)
+
+
+def figure5_surface(temp_c: float, *, n_util: int = 16, n_freq: int = 17,
+                    press: PRESSModel | None = None
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fig. 5a/5b: the PRESS AFR surface at a fixed temperature.
+
+    Returns (utilization % grid, frequency/day grid, AFR % surface of
+    shape ``(n_util, n_freq)``).  The paper shows 40 degC (5a, low
+    speed) and 50 degC (5b, high speed).
+    """
+    model = press or PRESSModel()
+    utils = np.linspace(25.0, 100.0, n_util)
+    freqs = np.linspace(0.0, 1600.0, n_freq)
+    return utils, freqs, model.afr_surface(temp_c, utils, freqs)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: the policy comparison sweep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Figure7Results:
+    """All three Fig. 7 panels for one workload condition."""
+
+    disk_counts: tuple[int, ...]
+    #: policy name -> one SimulationResult per disk count.
+    results: dict[str, tuple[SimulationResult, ...]] = field(default_factory=dict)
+
+    def series(self, metric: str) -> dict[str, np.ndarray]:
+        """Extract one panel: metric in {'afr', 'energy', 'response'}."""
+        getters = {
+            "afr": lambda r: r.array_afr_percent,
+            "energy": lambda r: r.total_energy_j,
+            "response": lambda r: r.mean_response_s,
+        }
+        require(metric in getters, f"metric must be one of {sorted(getters)}")
+        get = getters[metric]
+        return {name: np.array([get(r) for r in runs], dtype=np.float64)
+                for name, runs in self.results.items()}
+
+
+def figure7_comparison(config: ExperimentConfig | None = None, *,
+                       disk_counts: Sequence[int] = PAPER_DISK_COUNTS,
+                       policies: Sequence[str] = PAPER_POLICIES,
+                       press: PRESSModel | None = None,
+                       policy_kwargs: dict[str, dict] | None = None) -> Figure7Results:
+    """Run the Fig. 7 sweep: every policy at every array size, same trace.
+
+    ``policy_kwargs`` maps policy name -> config overrides (used by the
+    ablation benches).  The workload is generated once and shared.
+    """
+    cfg = config or ExperimentConfig()
+    fileset, trace = cfg.generate()
+    kwargs = policy_kwargs or {}
+    results: dict[str, tuple[SimulationResult, ...]] = {}
+    for name in policies:
+        runs = []
+        for n in disk_counts:
+            policy = make_policy(name, **kwargs.get(name, {}))
+            runs.append(run_simulation(policy, fileset, trace, n_disks=n,
+                                       disk_params=cfg.disk_params, press=press))
+        results[name] = tuple(runs)
+    return Figure7Results(disk_counts=tuple(disk_counts), results=results)
+
+
+def headline_summary(fig7: Figure7Results, *, baseline: str = "read") -> dict[str, dict[str, float]]:
+    """The Sec. 5.2 headline numbers: baseline's mean/max improvement per
+    metric against each competitor.
+
+    Positive percentages = baseline is lower (better) on that metric,
+    matching the paper's phrasing ("24.9% and 50.8% reliability
+    improvement compared with MAID and PDC").
+    """
+    require(baseline in fig7.results, f"baseline {baseline!r} not in results")
+    out: dict[str, dict[str, float]] = {}
+    for metric in ("afr", "energy", "response"):
+        series = fig7.series(metric)
+        base = series[baseline]
+        for other, vals in series.items():
+            if other == baseline:
+                continue
+            rel = (vals - base) / vals * 100.0
+            out.setdefault(metric, {})[f"vs_{other}_mean_%"] = float(rel.mean())
+            out[metric][f"vs_{other}_max_%"] = float(rel.max())
+    return out

@@ -1,0 +1,121 @@
+"""Metrics collection and the per-run result record.
+
+The paper's three metrics (Sec. 5.1): mean response time over all file
+access requests, energy consumed serving the whole request set, and the
+array AFR from PRESS.  ``RequestMetrics`` gathers the first on the
+completion path; the rest are computed from the array and model at the
+end of the run and frozen into a :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.disk.drive import Job
+from repro.press.model import DiskFactors
+from repro.util.validation import require
+
+__all__ = ["RequestMetrics", "SimulationResult"]
+
+
+class RequestMetrics:
+    """Accumulates per-request response times (user requests only).
+
+    Used as the runner's job-completion callback; internal jobs
+    (migrations, cache copies) are ignored here by construction — they
+    never carry a ``request``.
+    """
+
+    def __init__(self, expected: int) -> None:
+        require(expected >= 0, f"expected must be >= 0, got {expected}")
+        self._expected = expected
+        self._response_times = np.empty(expected, dtype=np.float64)
+        self._waits = np.empty(expected, dtype=np.float64)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def on_complete(self, job: Job) -> None:
+        """Job-completion callback; records user-request response times."""
+        if job.request is None:
+            return
+        require(self._count < self._expected, "more completions than expected requests")
+        req = job.request
+        self._response_times[self._count] = req.response_time
+        self._waits[self._count] = req.waiting_time
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        """User requests completed so far."""
+        return self._count
+
+    @property
+    def all_done(self) -> bool:
+        """Whether every expected request has completed."""
+        return self._count >= self._expected
+
+    @property
+    def response_times_s(self) -> np.ndarray:
+        """Response times of completed requests (copy-free slice)."""
+        return self._response_times[:self._count]
+
+    @property
+    def waiting_times_s(self) -> np.ndarray:
+        """Queueing delays of completed requests."""
+        return self._waits[:self._count]
+
+    def mean_response_s(self) -> float:
+        """The paper's headline performance metric."""
+        require(self._count > 0, "no completed requests")
+        return float(self.response_times_s.mean())
+
+    def percentile_response_s(self, q: float) -> float:
+        """Response-time percentile (q in [0, 100])."""
+        require(self._count > 0, "no completed requests")
+        return float(np.percentile(self.response_times_s, q))
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything one simulation cell reports (one point of Fig. 7)."""
+
+    policy_name: str
+    n_disks: int
+    n_requests: int
+    duration_s: float
+    mean_response_s: float
+    p95_response_s: float
+    p99_response_s: float
+    total_energy_j: float
+    #: Array AFR (percent) = max over per-disk PRESS AFRs (Sec. 3.5).
+    array_afr_percent: float
+    per_disk: tuple[DiskFactors, ...]
+    total_transitions: int
+    internal_jobs: int
+    energy_breakdown_j: dict[str, float] = field(default_factory=dict)
+    policy_detail: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def energy_kwh(self) -> float:
+        """Total energy in kWh (for the cost model)."""
+        return self.total_energy_j / 3.6e6
+
+    @property
+    def worst_disk(self) -> DiskFactors:
+        """The disk that set the array AFR."""
+        return max(self.per_disk, key=lambda f: f.afr_percent)
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat dict for tabular reporting."""
+        return {
+            "policy": self.policy_name,
+            "disks": self.n_disks,
+            "AFR_%": round(self.array_afr_percent, 3),
+            "energy_kJ": round(self.total_energy_j / 1e3, 1),
+            "mean_resp_ms": round(self.mean_response_s * 1e3, 2),
+            "p95_resp_ms": round(self.p95_response_s * 1e3, 2),
+            "transitions": self.total_transitions,
+        }

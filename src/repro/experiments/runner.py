@@ -1,0 +1,189 @@
+"""The trace-driven simulation runner (the paper's Sec. 5.1 methodology).
+
+One call to :func:`run_simulation` evaluates one (policy, array size)
+cell: it builds a fresh kernel + array, lets the policy lay data out,
+streams the trace's arrivals through the policy's router, runs until the
+last user request completes, then freezes metrics, energy, and the PRESS
+reliability assessment into a :class:`SimulationResult`.
+
+Arrivals are streamed (each arrival event schedules the next) rather
+than pre-loaded, so multi-million-request traces don't balloon the event
+heap.  End-of-run semantics: the measured horizon is the completion time
+of the last user request; the policy is then shut down (periodic tasks
+and timers cancelled) and any still-queued *internal* work is abandoned
+— its already-elapsed disk time is accounted, matching how the paper's
+"process of serving the entire request set" frames energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.core.extensions import (
+    ReplicatingREADConfig,
+    ReplicatingREADPolicy,
+    RotatingREADConfig,
+    RotatingREADPolicy,
+)
+from repro.core.read_strategy import READConfig, READPolicy
+from repro.disk.array import DiskArray
+from repro.disk.drive import QueueDiscipline
+from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams, cheetah_two_speed
+from repro.experiments.metrics import RequestMetrics, SimulationResult
+from repro.policies.base import Policy
+from repro.policies.maid import MAIDConfig, MAIDPolicy
+from repro.policies.drpm import DRPMConfig, DRPMPolicy
+from repro.policies.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.policies.pdc import PDCConfig, PDCPolicy
+from repro.policies.static import StaticHighPolicy, StaticLowPolicy
+from repro.policies.striped import StripedPolicyConfig, StripedStaticPolicy
+from repro.press.model import PRESSModel
+from repro.sim.engine import Simulator
+from repro.util.validation import require
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
+from repro.workload.trace import Trace
+
+__all__ = ["ExperimentConfig", "make_policy", "run_simulation"]
+
+PolicyFactory = Callable[[], Policy]
+
+_POLICY_REGISTRY: dict[str, PolicyFactory] = {
+    "read": READPolicy,
+    "read-rotate": RotatingREADPolicy,
+    "read-replicate": ReplicatingREADPolicy,
+    "maid": MAIDPolicy,
+    "pdc": PDCPolicy,
+    "drpm": DRPMPolicy,
+    "hibernator": HibernatorPolicy,
+    "static-high": StaticHighPolicy,
+    "static-low": StaticLowPolicy,
+    "striped-static": StripedStaticPolicy,
+}
+
+
+def make_policy(name: str, **config_kwargs) -> Policy:
+    """Instantiate a policy by registry name.
+
+    Keyword arguments are forwarded into the policy's config dataclass
+    (``READConfig``/``MAIDConfig``/``PDCConfig``); the static baselines
+    accept none.
+    """
+    require(name in _POLICY_REGISTRY,
+            f"unknown policy {name!r}; known: {sorted(_POLICY_REGISTRY)}")
+    if not config_kwargs:
+        return _POLICY_REGISTRY[name]()
+    if name == "read":
+        return READPolicy(READConfig(**config_kwargs))
+    if name == "read-rotate":
+        return RotatingREADPolicy(RotatingREADConfig(**config_kwargs))
+    if name == "read-replicate":
+        return ReplicatingREADPolicy(ReplicatingREADConfig(**config_kwargs))
+    if name == "maid":
+        return MAIDPolicy(MAIDConfig(**config_kwargs))
+    if name == "pdc":
+        return PDCPolicy(PDCConfig(**config_kwargs))
+    if name == "drpm":
+        return DRPMPolicy(DRPMConfig(**config_kwargs))
+    if name == "hibernator":
+        return HibernatorPolicy(HibernatorConfig(**config_kwargs))
+    if name == "striped-static":
+        return StripedStaticPolicy(StripedPolicyConfig(**config_kwargs))
+    raise ValueError(f"policy {name!r} takes no configuration")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """A reusable bundle: workload + device + model for a family of runs."""
+
+    workload: SyntheticWorkloadConfig = field(default_factory=SyntheticWorkloadConfig)
+    disk_params: TwoSpeedDiskParams = field(default_factory=cheetah_two_speed)
+
+    def with_heavy_load(self, compression: float = 8.0) -> "ExperimentConfig":
+        """The paper's heavy condition: same stream, time-compressed."""
+        return replace(self, workload=self.workload.heavy(compression))
+
+    def generate(self) -> tuple[FileSet, Trace]:
+        """Materialize the (deterministic) workload."""
+        return WorldCupLikeWorkload(self.workload).generate()
+
+
+def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
+                   n_disks: int, disk_params: TwoSpeedDiskParams | None = None,
+                   press: PRESSModel | None = None,
+                   initial_speed: DiskSpeed = DiskSpeed.HIGH,
+                   queue_discipline: QueueDiscipline = QueueDiscipline.FCFS) -> SimulationResult:
+    """Run one policy over one trace on an ``n_disks`` array.
+
+    The same (fileset, trace) pair should be passed to every competing
+    policy — that is the paper's fairness protocol (Sec. 3.5: "all
+    algorithms are evaluated ... under the same conditions").
+    """
+    require(len(trace) >= 1, "trace must contain at least one request")
+    params = disk_params or cheetah_two_speed()
+    model = press or PRESSModel()
+
+    sim = Simulator()
+    array = DiskArray(sim, params, n_disks, fileset, initial_speed=initial_speed,
+                      queue_discipline=queue_discipline)
+    metrics = RequestMetrics(expected=len(trace))
+
+    policy.bind(sim, array, fileset)
+    policy.completion_callback = metrics.on_complete
+    policy.initial_layout()
+
+    times = trace.times_s
+    ids = trace.file_ids
+    sizes = fileset.sizes_mb
+    n = len(trace)
+    cursor = {"i": 0}
+
+    def dispatch_next() -> None:
+        i = cursor["i"]
+        cursor["i"] += 1
+        fid = int(ids[i])
+        policy.route(Request(arrival_time=sim.now, file_id=fid,
+                             size_mb=float(sizes[fid])))
+        nxt = cursor["i"]
+        if nxt < n:
+            sim.schedule_at(float(times[nxt]), dispatch_next, priority=-1)
+
+    sim.schedule_at(float(times[0]), dispatch_next, priority=-1)
+
+    # Run until every user request has completed.  Policies' periodic
+    # tasks keep the queue non-empty, so completion is the loop's own
+    # stop condition rather than queue exhaustion.
+    while not metrics.all_done:
+        if not sim.step():
+            raise RuntimeError(
+                f"event queue drained with {metrics.completed}/{n} requests done"
+            )
+
+    duration = sim.now
+    policy.shutdown()
+    array.finalize()
+
+    afr, factors = model.evaluate_array(array, duration)
+    breakdown: dict[str, float] = {}
+    for drive in array.drives:
+        for state, joules in drive.energy.breakdown().items():
+            breakdown[state] = breakdown.get(state, 0.0) + joules
+
+    return SimulationResult(
+        policy_name=policy.name,
+        n_disks=n_disks,
+        n_requests=n,
+        duration_s=duration,
+        mean_response_s=metrics.mean_response_s(),
+        p95_response_s=metrics.percentile_response_s(95.0),
+        p99_response_s=metrics.percentile_response_s(99.0),
+        total_energy_j=array.total_energy_j(),
+        array_afr_percent=afr,
+        per_disk=tuple(factors),
+        total_transitions=sum(d.stats.speed_transitions_total for d in array.drives),
+        internal_jobs=sum(d.stats.internal_jobs_served for d in array.drives),
+        energy_breakdown_j=breakdown,
+        policy_detail=policy.describe(),
+    )

@@ -1,0 +1,90 @@
+"""Analytic cross-checks of the simulator against queueing theory.
+
+A trace-driven simulator is only as trustworthy as its agreement with
+closed-form results where those exist.  For a single drive at fixed
+speed under Poisson arrivals, the system is an M/G/1 queue whose mean
+waiting time is the Pollaczek-Khinchine formula
+
+    W = lambda * E[S^2] / (2 * (1 - rho)),      rho = lambda * E[S]
+
+with S the service time (positioning + size/rate).  The functions here
+compute the analytic values for a given file population so the test
+suite (and anyone auditing the simulator) can compare them against
+simulated means.  Agreement within Monte Carlo error on this path
+validates the entire arrival->queue->service->completion pipeline that
+every policy result rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.parameters import DiskSpeed, SpeedModeParams, TwoSpeedDiskParams
+from repro.util.validation import require, require_positive
+from repro.workload.files import FileSet
+
+__all__ = ["MG1Prediction", "mg1_prediction", "service_moments"]
+
+
+def service_moments(fileset: FileSet, mode: SpeedModeParams,
+                    weights: np.ndarray | None = None) -> tuple[float, float]:
+    """First two moments of the whole-file service time distribution.
+
+    ``weights`` are per-file access probabilities (uniform when omitted)
+    — the service distribution an arriving request samples from.
+    """
+    sizes = fileset.sizes_mb
+    service = mode.positioning_s + sizes / mode.transfer_mb_s
+    if weights is None:
+        w = np.full(sizes.size, 1.0 / sizes.size)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        require(w.shape == sizes.shape, "weights must match the file population")
+        require(bool(np.all(w >= 0)) and w.sum() > 0, "weights must be a distribution")
+        w = w / w.sum()
+    first = float(np.sum(w * service))
+    second = float(np.sum(w * service**2))
+    return first, second
+
+
+@dataclass(frozen=True, slots=True)
+class MG1Prediction:
+    """Closed-form M/G/1 quantities for one drive."""
+
+    arrival_rate: float
+    mean_service_s: float
+    second_moment_service: float
+    utilization: float
+    mean_wait_s: float
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean response = wait + service."""
+        return self.mean_wait_s + self.mean_service_s
+
+
+def mg1_prediction(fileset: FileSet, params: TwoSpeedDiskParams, *,
+                   speed: DiskSpeed = DiskSpeed.HIGH,
+                   mean_interarrival_s: float,
+                   weights: np.ndarray | None = None) -> MG1Prediction:
+    """Pollaczek-Khinchine prediction for a single drive serving the
+    whole ``fileset`` under Poisson arrivals.
+
+    Raises for an unstable queue (rho >= 1): the simulator would never
+    drain, and the formula is meaningless there.
+    """
+    require_positive(mean_interarrival_s, "mean_interarrival_s")
+    lam = 1.0 / mean_interarrival_s
+    es, es2 = service_moments(fileset, params.mode(speed), weights)
+    rho = lam * es
+    require(rho < 1.0, f"unstable queue: rho = {rho:.3f} >= 1")
+    wait = lam * es2 / (2.0 * (1.0 - rho))
+    return MG1Prediction(
+        arrival_rate=lam,
+        mean_service_s=es,
+        second_moment_service=es2,
+        utilization=rho,
+        mean_wait_s=wait,
+    )

@@ -1,0 +1,49 @@
+"""Energy-management policies for the two-speed disk array.
+
+Each policy owns three concerns, mirroring how the paper describes the
+schemes it compares (Sec. 2, Sec. 4):
+
+* **data placement** — where files live initially and how they move;
+* **request routing** — which disk serves each request (MAID redirects
+  to cache disks; the others serve from the file's primary location);
+* **speed control** — when drives transition between the two spindle
+  speeds (idleness thresholds, spin-up demand rules, READ's transition
+  budget).
+
+The READ policy itself — the paper's contribution — lives in
+:mod:`repro.core` and plugs into the same :class:`Policy` interface.
+"""
+
+from repro.policies.base import (
+    Policy,
+    PolicyError,
+    SpeedControlConfig,
+    SpeedController,
+    TransitionBudget,
+)
+from repro.policies.static import StaticHighPolicy, StaticLowPolicy
+from repro.policies.maid import MAIDConfig, MAIDPolicy
+from repro.policies.drpm import DRPMConfig, DRPMPolicy
+from repro.policies.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.policies.pdc import PDCConfig, PDCPolicy
+from repro.policies.striped import StripedPolicyConfig, StripedStaticPolicy
+
+__all__ = [
+    "Policy",
+    "PolicyError",
+    "SpeedControlConfig",
+    "SpeedController",
+    "TransitionBudget",
+    "StaticHighPolicy",
+    "StaticLowPolicy",
+    "MAIDConfig",
+    "MAIDPolicy",
+    "PDCConfig",
+    "PDCPolicy",
+    "DRPMConfig",
+    "DRPMPolicy",
+    "HibernatorConfig",
+    "HibernatorPolicy",
+    "StripedPolicyConfig",
+    "StripedStaticPolicy",
+]

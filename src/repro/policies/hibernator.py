@@ -1,0 +1,154 @@
+"""Hibernator-style coarse-grain speed setting (Zhu et al., SOSP'05).
+
+The third power-management scheme the paper's Sec. 2 cites.  Where DRPM
+reacts to short windows, Hibernator's defining idea is the *coarse
+temporal granularity*: disk speeds are chosen once per long epoch and
+held, explicitly bounding transition frequency (at most one change per
+disk per epoch) while a performance model keeps response time within a
+target.
+
+Per epoch, for each disk this implementation:
+
+1. estimates the disk's arrival rate and service-time moments from the
+   epoch's observed per-file access counts (the same Pollaczek-Khinchine
+   machinery that validates the simulator —
+   :mod:`repro.experiments.validation`);
+2. predicts the M/G/1 mean response time at LOW speed;
+3. parks the disk at LOW if the prediction meets ``response_bound_s``
+   (with ``utilization_guard`` headroom against instability), otherwise
+   at HIGH.
+
+No data moves; placement is round-robin by size.  Reliability character
+(what PRESS sees): transitions are rare *by construction* — Hibernator
+is the power-management design point closest to READ's reliability
+behaviour, while its response time floats up to the configured bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.disk.parameters import DiskSpeed
+from repro.policies.base import Policy
+from repro.policies.tracking import AccessTracker
+from repro.sim.timers import PeriodicTask
+from repro.util.validation import require, require_fraction, require_positive
+from repro.workload.request import Request
+
+__all__ = ["HibernatorConfig", "HibernatorPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class HibernatorConfig:
+    """Coarse-grain controller knobs.
+
+    Attributes
+    ----------
+    epoch_s:
+        Speed-setting period (Hibernator used hours; default 30 min).
+    response_bound_s:
+        Per-disk mean-response target the LOW prediction must meet.
+    utilization_guard:
+        Maximum predicted LOW-speed utilization; above it the disk runs
+        HIGH regardless of the response prediction (P-K diverges near 1).
+    start_low:
+        Whether disks boot at LOW (Hibernator's optimistic default).
+    """
+
+    epoch_s: float = 1800.0
+    response_bound_s: float = 0.030
+    utilization_guard: float = 0.7
+    start_low: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.epoch_s, "epoch_s")
+        require_positive(self.response_bound_s, "response_bound_s")
+        require_fraction(self.utilization_guard, "utilization_guard")
+        require(self.utilization_guard > 0.0, "utilization_guard must be > 0")
+
+
+class HibernatorPolicy(Policy):
+    """Epoch-granular model-driven speed setting; no data movement."""
+
+    name = "hibernator"
+
+    def __init__(self, config: HibernatorConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or HibernatorConfig()
+        self._tracker: Optional[AccessTracker] = None
+        self._epoch_task: Optional[PeriodicTask] = None
+        self.epoch_decisions = {"low": 0, "high": 0}
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "epoch_s": self.config.epoch_s,
+                "response_bound_ms": self.config.response_bound_s * 1e3,
+                "decisions": dict(self.epoch_decisions)}
+
+    def initial_layout(self) -> None:
+        array = self._require_bound()
+        order = self.fileset.ids_sorted_by_size()
+        placement = np.empty(len(self.fileset), dtype=np.int64)
+        placement[order] = np.arange(len(order)) % array.n_disks
+        array.place_all(placement)
+        if self.config.start_low:
+            for drive in array.drives:
+                drive.force_speed(DiskSpeed.LOW)
+        self._tracker = AccessTracker(len(self.fileset))
+        self._epoch_task = PeriodicTask(self.sim, self.config.epoch_s,
+                                        self._on_epoch, priority=30)
+
+    def route(self, request: Request) -> None:
+        self._require_bound()
+        assert self._tracker is not None
+        self._tracker.record(request.file_id)
+        self.submit(request, disk_id=self.array.location_of(request.file_id))
+
+    def shutdown(self) -> None:
+        if self._epoch_task is not None:
+            self._epoch_task.stop()
+
+    # ------------------------------------------------------------------
+    def predicted_low_speed_response_s(self, disk_id: int,
+                                       counts: np.ndarray) -> tuple[float, float]:
+        """(predicted mean response at LOW, predicted utilization).
+
+        Returns ``(inf, inf)`` when the LOW-speed queue would be
+        unstable or breach the utilization guard.
+        """
+        array = self._require_bound()
+        on_disk = array.files_on(disk_id)
+        disk_counts = counts[on_disk]
+        total = float(disk_counts.sum())
+        low = array.params.low
+        if total == 0.0:
+            return low.positioning_s, 0.0  # idle disk: service time only
+        lam = total / self.config.epoch_s
+        sizes = self.fileset.sizes_mb[on_disk]
+        service = low.positioning_s + sizes / low.transfer_mb_s
+        w = disk_counts / total
+        es = float(np.sum(w * service))
+        es2 = float(np.sum(w * service**2))
+        rho = lam * es
+        if rho >= self.config.utilization_guard:
+            return float("inf"), rho
+        wait = lam * es2 / (2.0 * (1.0 - rho))
+        return wait + es, rho
+
+    def _on_epoch(self, _tick: int) -> None:
+        assert self._tracker is not None
+        array = self._require_bound()
+        counts = self._tracker.roll_epoch().astype(np.float64)
+        for disk_id, drive in enumerate(array.drives):
+            response, _rho = self.predicted_low_speed_response_s(disk_id, counts)
+            if response <= self.config.response_bound_s:
+                target = DiskSpeed.LOW
+                self.epoch_decisions["low"] += 1
+            else:
+                target = DiskSpeed.HIGH
+                self.epoch_decisions["high"] += 1
+            if drive.effective_target_speed is not target:
+                drive.request_speed(target)

@@ -1,0 +1,241 @@
+"""PDC — Popular Data Concentration (Pinheiro & Bianchini, ICS'04).
+
+The paper's description (Sec. 2, Sec. 4): PDC "dynamically migrate[s]
+popular data to a subset of the disks so that the load becomes skewed
+towards a few of the disks and others can be sent to low-power modes".
+With two-speed disks it is the second hybrid baseline of the evaluation.
+
+Implementation model
+--------------------
+* Initial placement is round-robin in size order (no popularity
+  knowledge yet — PDC learns online).
+* Every epoch, files are re-ranked by last-epoch access count and
+  *waterfilled* onto disks in id order: disk 0 takes the most popular
+  files until its predicted load reaches ``load_cap`` (a fraction of
+  the disk's high-speed service capacity) or its storage fills, then
+  disk 1, and so on.  Predicted per-file load = last-epoch accesses x
+  high-speed service time / epoch length — the standard PDC load
+  estimator.
+* Files whose assigned disk differs from their current one are migrated
+  through :meth:`DiskArray.migrate_file`, i.e. at real I/O cost.
+* All disks use the shared idleness spin-down / demand spin-up rules —
+  under concentration the tail disks idle long enough to sink to low
+  speed, which is where PDC's energy saving comes from.
+
+Reliability character (what PRESS sees): the head disk's utilization is
+pushed as high as the load cap allows — the "very high disk utilization
+is detrimental" overuse the paper's Sec. 1 attributes to workload-skew
+schemes — and every epoch's migration wave adds churn, so PDC lands at
+the bottom of the reliability comparison (Fig. 7a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.policies.base import Policy, SpeedControlConfig, SpeedController
+from repro.policies.tracking import AccessTracker
+from repro.sim.timers import PeriodicTask
+from repro.util.validation import require, require_fraction, require_positive
+from repro.workload.request import Request
+
+__all__ = ["PDCConfig", "PDCPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class PDCConfig:
+    """PDC tuning knobs.
+
+    Attributes
+    ----------
+    epoch_s:
+        Reorganization period (seconds).
+    load_cap:
+        Target fraction of a disk's high-speed service capacity the
+        waterfill loads before spilling to the next disk.
+    max_migrations_per_epoch:
+        Upper bound on per-epoch file moves (None = unlimited); guards
+        against pathological churn on popularity-flapping workloads.
+    concentrate_share:
+        PDC concentrates the smallest set of top-ranked files covering
+        this fraction of the epoch's accesses (at least 2 accesses per
+        concentrated file).  The remainder — the Zipf tail of stray
+        accesses — stays where it is, spread across the array:
+        concentrating noise would churn pointlessly, but leaving it
+        spread is also what keeps waking PDC's tail disks.  A share
+        (not an absolute count) so the cut lands on the same
+        popularity quantile at any workload intensity.
+    speed:
+        Shared idleness/spin-up knobs.
+    """
+
+    epoch_s: float = 900.0
+    load_cap: float = 1.0
+    max_migrations_per_epoch: Optional[int] = None
+    concentrate_share: float = 0.985
+    #: Classic PDC spins a low-speed disk up on *any* arrival (the disks
+    #: were originally stopped); spin_up_queue_len=1 reproduces that.
+    speed: SpeedControlConfig = SpeedControlConfig(
+        idle_threshold_s=20.0, spin_up_queue_len=1, spin_up_wait_s=0.5)
+
+    def __post_init__(self) -> None:
+        require_positive(self.epoch_s, "epoch_s")
+        require_fraction(self.load_cap, "load_cap")
+        require(self.load_cap > 0.0, "load_cap must be > 0")
+        if self.max_migrations_per_epoch is not None:
+            require(self.max_migrations_per_epoch >= 0,
+                    "max_migrations_per_epoch must be >= 0")
+        require_fraction(self.concentrate_share, "concentrate_share")
+        require(self.concentrate_share > 0.0, "concentrate_share must be > 0")
+
+
+class PDCPolicy(Policy):
+    """Popular Data Concentration over two-speed disks."""
+
+    name = "pdc"
+
+    def __init__(self, config: PDCConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or PDCConfig()
+        self._controller: Optional[SpeedController] = None
+        self._tracker: Optional[AccessTracker] = None
+        self._epoch_task: Optional[PeriodicTask] = None
+        self.migrations_performed = 0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "epoch_s": self.config.epoch_s,
+                "load_cap": self.config.load_cap,
+                "idle_threshold_s": self.config.speed.idle_threshold_s}
+
+    # ------------------------------------------------------------------
+    def initial_layout(self) -> None:
+        """Round-robin by size rank; arm the epoch task and speed control."""
+        array = self._require_bound()
+        order = self.fileset.ids_sorted_by_size()
+        placement = np.empty(len(self.fileset), dtype=np.int64)
+        placement[order] = np.arange(len(order)) % array.n_disks
+        array.place_all(placement)
+
+        self._tracker = AccessTracker(len(self.fileset))
+        self._controller = SpeedController(self.sim, array, self.config.speed)
+        self._epoch_task = PeriodicTask(self.sim, self.config.epoch_s,
+                                        self._on_epoch, priority=20)
+
+    def route(self, request: Request) -> None:
+        """Serve from the primary copy; spin the disk up under demand."""
+        self._require_bound()
+        assert self._tracker is not None and self._controller is not None
+        self._tracker.record(request.file_id)
+        target = self.array.location_of(request.file_id)
+        self._controller.check_spin_up(target)
+        self.submit(request, disk_id=target)
+
+    def on_disk_idle(self, disk_id: int) -> None:
+        if self._controller is not None:
+            self._controller.on_disk_idle(disk_id)
+
+    def on_disk_busy(self, disk_id: int) -> None:
+        if self._controller is not None:
+            self._controller.on_disk_busy(disk_id)
+
+    def shutdown(self) -> None:
+        if self._epoch_task is not None:
+            self._epoch_task.stop()
+        if self._controller is not None:
+            self._controller.shutdown()
+
+    # ------------------------------------------------------------------
+    # epoch reorganization
+    # ------------------------------------------------------------------
+    def target_placement(self, counts: np.ndarray) -> np.ndarray:
+        """Waterfill *accessed* files onto the head disks; others stay put.
+
+        PDC migrates popular data toward the front of the array — it
+        does not touch data it has no popularity evidence for, so files
+        with zero accesses this epoch keep their current disk (that is
+        what leaves the tail disks holding rarely-touched data, the
+        source of PDC's spin-up churn).  Returns the full
+        ``file_id -> disk`` assignment.  Pure function of (counts, array
+        geometry); exposed for tests and the ablation benches.
+        """
+        array = self._require_bound()
+        n = array.n_disks
+        cfg = self.config
+        sizes = self.fileset.sizes_mb
+        high = array.params.high
+        epoch = cfg.epoch_s
+
+        assignment = np.asarray(array.placement, dtype=np.int64).copy()
+        total = int(counts.sum())
+        if total == 0:
+            return assignment
+        order = np.argsort(-counts, kind="stable")
+        cum = np.cumsum(counts[order])
+        cutoff = int(np.searchsorted(cum, cfg.concentrate_share * total)) + 1
+        ranking = order[:cutoff]
+        ranking = ranking[counts[ranking] >= 2]
+        if ranking.size == 0:
+            return assignment
+        concentrated = np.zeros(counts.size, dtype=bool)
+        concentrated[ranking] = True
+        service_s = high.positioning_s + sizes / high.transfer_mb_s
+        predicted_load = counts * service_s / epoch  # utilization fraction
+
+        disk = 0
+        load_acc = 0.0
+        cap_acc = 0.0
+        capacity = array.params.capacity_mb
+        for fid in ranking:
+            f_load = float(predicted_load[fid])
+            f_size = float(sizes[fid])
+            while disk < n - 1 and (
+                    (load_acc + f_load > cfg.load_cap and load_acc > 0.0)
+                    or cap_acc + f_size > capacity):
+                disk += 1
+                load_acc = 0.0
+                cap_acc = 0.0
+            assignment[fid] = disk
+            load_acc += f_load
+            cap_acc += f_size
+
+        # Concentration is bidirectional: a file that fell below the
+        # popularity floor has no business occupying a head (loaded)
+        # disk, so it is pushed to the coolest tail disk — freeing the
+        # head for next epoch's popular set, at the cost of waking tail
+        # disks with migration writes (PDC's characteristic churn).
+        head_limit = disk
+        if head_limit < n - 1:
+            unaccessed = np.flatnonzero(~concentrated)
+            on_head = unaccessed[assignment[unaccessed] <= head_limit]
+            if on_head.size:
+                tail = np.arange(head_limit + 1, n)
+                tail_bytes = np.array([
+                    float(sizes[assignment == d].sum()) for d in tail])
+                for fid in on_head:
+                    t = int(np.argmin(tail_bytes))
+                    assignment[fid] = int(tail[t])
+                    tail_bytes[t] += float(sizes[fid])
+        return assignment
+
+    def _on_epoch(self, _tick: int) -> None:
+        assert self._tracker is not None
+        counts = self._tracker.roll_epoch()
+        if counts.sum() == 0:
+            return
+        assignment = self.target_placement(counts)
+        current = self.array.placement
+        movers = np.flatnonzero(assignment != current)
+        # most popular movers first: they matter most before the next epoch
+        movers = movers[np.argsort(-counts[movers], kind="stable")]
+        limit = self.config.max_migrations_per_epoch
+        moved = 0
+        for fid in movers:
+            if limit is not None and moved >= limit:
+                break
+            if self.array.migrate_file(int(fid), int(assignment[fid])):
+                moved += 1
+        self.migrations_performed += moved

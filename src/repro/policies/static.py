@@ -1,0 +1,62 @@
+"""Static baselines: no energy management at all.
+
+``StaticHighPolicy`` is the conventional always-full-speed array — the
+energy ceiling and performance floor every scheme is implicitly measured
+against.  ``StaticLowPolicy`` is the opposite corner (everything at low
+speed, maximum energy saving available from speed alone, worst service
+times).  Neither transitions ever, so their PRESS frequency factor is 0
+and their AFR differences come purely from temperature and utilization —
+which makes them useful calibration points in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disk.parameters import DiskSpeed
+from repro.policies.base import Policy
+from repro.workload.request import Request
+
+__all__ = ["StaticHighPolicy", "StaticLowPolicy"]
+
+
+class _StaticPolicy(Policy):
+    """Round-robin placement by size rank; fixed speed; direct routing."""
+
+    def __init__(self, speed: DiskSpeed) -> None:
+        super().__init__()
+        self._speed = speed
+
+    def initial_layout(self) -> None:
+        """Round-robin files across disks in size order (balanced load
+        under the size-popularity assumption) and pin every drive's speed."""
+        array = self._require_bound()
+        order = self.fileset.ids_sorted_by_size()
+        placement = np.empty(len(self.fileset), dtype=np.int64)
+        placement[order] = np.arange(len(order)) % array.n_disks
+        array.place_all(placement)
+        for drive in array.drives:
+            if drive.speed is not self._speed:
+                drive.force_speed(self._speed)
+
+    def route(self, request: Request) -> None:
+        """Serve from the file's placed disk; never change speeds."""
+        self.submit(request)
+
+
+class StaticHighPolicy(_StaticPolicy):
+    """All drives at high speed forever (the no-energy-management array)."""
+
+    name = "static-high"
+
+    def __init__(self) -> None:
+        super().__init__(DiskSpeed.HIGH)
+
+
+class StaticLowPolicy(_StaticPolicy):
+    """All drives at low speed forever (maximum speed-derived saving)."""
+
+    name = "static-low"
+
+    def __init__(self) -> None:
+        super().__init__(DiskSpeed.LOW)

@@ -1,0 +1,90 @@
+"""RAID-0 striped service policy (paper future-work direction 2).
+
+Serves every request by fanning its stripe chunks out to their disks in
+parallel; the request completes when its **last** chunk completes
+(fan-in).  All drives run at high speed — this is a performance
+substrate, not an energy scheme; its role in the repository is (a) to
+demonstrate the striping extension the paper sketches and (b) to give
+the benchmarks a "best possible large-file response time" reference.
+
+Large files gain (transfer is parallelized across disks); tiny files
+pay nothing extra (single-chunk files take the non-striped path), which
+is exactly the paper's Sec. 6 argument for why striping matters for
+media files and not for 1998-era web objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.drive import Job
+from repro.disk.striping import PAPER_STRIPE_UNIT_MB, StripeLayout
+from repro.policies.base import Policy
+from repro.util.validation import require_positive
+from repro.workload.request import Request
+
+__all__ = ["StripedPolicyConfig", "StripedStaticPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class StripedPolicyConfig:
+    """Striping knobs: just the stripe unit (512 KB per the paper)."""
+
+    stripe_unit_mb: float = PAPER_STRIPE_UNIT_MB
+
+    def __post_init__(self) -> None:
+        require_positive(self.stripe_unit_mb, "stripe_unit_mb")
+
+
+class StripedStaticPolicy(Policy):
+    """All-high-speed RAID-0 service with whole-request fan-in."""
+
+    name = "striped-static"
+
+    def __init__(self, config: StripedPolicyConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or StripedPolicyConfig()
+        self._layout: StripeLayout | None = None
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "stripe_unit_mb": self.config.stripe_unit_mb}
+
+    # ------------------------------------------------------------------
+    def initial_layout(self) -> None:
+        """Record chunk-0 placement (capacity bookkeeping) — physical
+        chunks are implied by the stripe layout, not the placement map."""
+        array = self._require_bound()
+        self._layout = StripeLayout(array.n_disks, self.config.stripe_unit_mb)
+        for file_id in range(len(self.fileset)):
+            array.place_file(file_id, file_id % array.n_disks)
+
+    # ------------------------------------------------------------------
+    def route(self, request: Request) -> None:
+        """Fan chunks out; complete the request on the last chunk."""
+        array = self._require_bound()
+        assert self._layout is not None
+        chunks = self._layout.chunks_of(request.file_id, request.size_mb)
+
+        if len(chunks) == 1:
+            # small file: the ordinary whole-file path
+            self.submit(request, disk_id=chunks[0].disk_id)
+            return
+
+        request.served_by = chunks[0].disk_id
+        state = {"remaining": len(chunks), "first_start": float("inf")}
+        # a record job for the metrics callback; never submitted itself
+        record = Job.for_request(request)
+
+        def on_leg_complete(leg: Job) -> None:
+            state["first_start"] = min(state["first_start"], leg.service_start)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                request.service_start = state["first_start"]
+                request.completion_time = self.sim.now
+                record.completion_time = self.sim.now
+                if self.completion_callback is not None:
+                    self.completion_callback(record)
+
+        for chunk in chunks:
+            array.submit_internal(chunk.disk_id, chunk.size_mb,
+                                  on_complete=on_leg_complete)

@@ -1,0 +1,97 @@
+"""Reliability integrator (paper Sec. 3.5).
+
+The integrator has the paper's two jobs:
+
+1. fuse the three per-factor AFR estimates into a single per-disk AFR;
+2. reduce per-disk AFRs to one array-level AFR — the paper is explicit
+   here: "the reliability level of a disk array is only as high as the
+   lowest level of reliability possessed by a single disk", i.e. the
+   array AFR is the **max** over disks.
+
+For step 1 the paper gives no formula, so the combination is a pluggable
+strategy (DESIGN.md, inconsistencies item 4).  The default,
+``MEAN_PLUS_ADDER``, reflects what the inputs *are*: the temperature and
+utilization functions each estimate the same disk's base AFR from field
+data (averaged), while the frequency function is explicitly an *adder*
+on top (IDEMA's term).  ``SUM`` and ``MAX_PLUS_ADDER`` bound the default
+from above/below and feed the ablation bench.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.validation import require, require_fraction
+
+__all__ = ["CombinationStrategy", "ReliabilityIntegrator"]
+
+
+class CombinationStrategy(enum.Enum):
+    """How per-factor AFRs combine into one disk AFR."""
+
+    #: mean(temperature, utilization) + frequency adder  (default)
+    MEAN_PLUS_ADDER = "mean_plus_adder"
+    #: max(temperature, utilization) + frequency adder (pessimistic base)
+    MAX_PLUS_ADDER = "max_plus_adder"
+    #: temperature + utilization + frequency (treats all three as adders)
+    SUM = "sum"
+    #: w*temperature + (1-w)*utilization + frequency adder
+    WEIGHTED = "weighted"
+
+
+class ReliabilityIntegrator:
+    """Combines ESRRA-factor AFRs (step 1) and reduces over disks (step 2).
+
+    Parameters
+    ----------
+    strategy:
+        Combination rule for step 1.
+    temperature_weight:
+        Only for ``WEIGHTED``: weight of the temperature estimate in the
+        base AFR (utilization gets the complement).
+    """
+
+    def __init__(self, strategy: CombinationStrategy = CombinationStrategy.MEAN_PLUS_ADDER,
+                 *, temperature_weight: float = 0.5) -> None:
+        self.strategy = strategy
+        self.temperature_weight = require_fraction(temperature_weight, "temperature_weight")
+
+    # ------------------------------------------------------------------
+    def disk_afr(self, temp_afr: float | np.ndarray, util_afr: float | np.ndarray,
+                 freq_afr: float | np.ndarray) -> float | np.ndarray:
+        """Fuse the three per-factor AFRs (all percent) into one disk AFR."""
+        t = np.asarray(temp_afr, dtype=np.float64)
+        u = np.asarray(util_afr, dtype=np.float64)
+        f = np.asarray(freq_afr, dtype=np.float64)
+        for name, arr in (("temp_afr", t), ("util_afr", u), ("freq_afr", f)):
+            require(bool(np.all(np.isfinite(arr)) and np.all(arr >= 0)),
+                    f"{name} must be finite and >= 0")
+
+        if self.strategy is CombinationStrategy.MEAN_PLUS_ADDER:
+            out = 0.5 * (t + u) + f
+        elif self.strategy is CombinationStrategy.MAX_PLUS_ADDER:
+            out = np.maximum(t, u) + f
+        elif self.strategy is CombinationStrategy.SUM:
+            out = t + u + f
+        elif self.strategy is CombinationStrategy.WEIGHTED:
+            w = self.temperature_weight
+            out = w * t + (1.0 - w) * u + f
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError(f"unhandled strategy {self.strategy}")
+
+        if all(np.ndim(x) == 0 for x in (temp_afr, util_afr, freq_afr)):
+            return float(out)
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def array_afr(disk_afrs: Iterable[float]) -> float:
+        """Array AFR = AFR of the least reliable disk (Sec. 3.5)."""
+        values = np.asarray(list(disk_afrs), dtype=np.float64)
+        require(values.size >= 1, "array_afr needs at least one disk AFR")
+        require(bool(np.all(np.isfinite(values)) and np.all(values >= 0)),
+                "disk AFRs must be finite and >= 0")
+        return float(values.max())

@@ -1,0 +1,135 @@
+"""The assembled PRESS model (paper Fig. 1, Sec. 3.5).
+
+``PRESSModel`` wires the three reliability functions into the
+integrator.  It is consumed two ways:
+
+* analytically — :meth:`PRESSModel.disk_afr` on explicit factor values,
+  and :meth:`PRESSModel.afr_surface` for the Fig. 5 surfaces;
+* against a simulation — :meth:`PRESSModel.evaluate_drive` extracts the
+  three ESRRA factors from a finished :class:`~repro.disk.TwoSpeedDrive`
+  and :meth:`PRESSModel.evaluate_array` reduces over the array with the
+  max rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.array import DiskArray
+from repro.disk.drive import TwoSpeedDrive
+from repro.press.frequency import FrequencyReliability
+from repro.press.integrator import CombinationStrategy, ReliabilityIntegrator
+from repro.press.temperature import TemperatureReliability
+from repro.press.utilization import UtilizationReliability
+from repro.util.validation import require, require_non_negative, require_positive
+
+__all__ = ["DiskFactors", "PRESSModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiskFactors:
+    """The three ESRRA factors of one disk, plus its resulting AFR."""
+
+    disk_id: int
+    mean_temperature_c: float
+    utilization_percent: float
+    transitions_per_day: float
+    afr_percent: float
+
+
+class PRESSModel:
+    """Predictor of Reliability for Energy-Saving Schemes.
+
+    Parameters
+    ----------
+    temperature / utilization / frequency:
+        The three reliability functions; defaults are the paper's.
+    integrator:
+        Combination + reduction rules; defaults to MEAN_PLUS_ADDER / max.
+
+    Examples
+    --------
+    >>> press = PRESSModel()
+    >>> low = press.disk_afr(40.0, 30.0, 5.0)
+    >>> high = press.disk_afr(50.0, 90.0, 200.0)
+    >>> high > low
+    True
+    """
+
+    def __init__(self, *, temperature: TemperatureReliability | None = None,
+                 utilization: UtilizationReliability | None = None,
+                 frequency: FrequencyReliability | None = None,
+                 integrator: ReliabilityIntegrator | None = None) -> None:
+        self.temperature = temperature or TemperatureReliability()
+        self.utilization = utilization or UtilizationReliability()
+        self.frequency = frequency or FrequencyReliability()
+        self.integrator = integrator or ReliabilityIntegrator()
+
+    @classmethod
+    def with_strategy(cls, strategy: CombinationStrategy, **kwargs) -> "PRESSModel":
+        """Build a model differing from the default only in combination rule."""
+        return cls(integrator=ReliabilityIntegrator(strategy, **kwargs))
+
+    # ------------------------------------------------------------------
+    # analytic interface
+    # ------------------------------------------------------------------
+    def disk_afr(self, temp_c: float, utilization_percent: float,
+                 transitions_per_day: float) -> float:
+        """AFR (percent) of one disk from its three ESRRA factor values."""
+        t_afr = self.temperature(temp_c)
+        u_afr = self.utilization(utilization_percent)
+        f_afr = self.frequency(transitions_per_day)
+        return float(self.integrator.disk_afr(t_afr, u_afr, f_afr))
+
+    def afr_surface(self, temp_c: float, utilization_percent: np.ndarray,
+                    transitions_per_day: np.ndarray) -> np.ndarray:
+        """AFR grid at fixed temperature — one Fig. 5 panel.
+
+        Returns shape ``(len(utilization_percent), len(transitions_per_day))``.
+        The paper presents the panels at 40 degC (low speed, Fig. 5a) and
+        50 degC (high speed, Fig. 5b).
+        """
+        utils = np.asarray(utilization_percent, dtype=np.float64)
+        freqs = np.asarray(transitions_per_day, dtype=np.float64)
+        require(utils.ndim == 1 and freqs.ndim == 1, "grids must be 1-D")
+        t_afr = float(np.asarray(self.temperature(temp_c)))
+        u_afr = np.asarray(self.utilization(utils), dtype=np.float64)[:, None]
+        f_afr = np.asarray(self.frequency(freqs), dtype=np.float64)[None, :]
+        surface = self.integrator.disk_afr(np.full_like(u_afr, t_afr), u_afr, f_afr)
+        return np.asarray(surface, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # simulation interface
+    # ------------------------------------------------------------------
+    def factors_of(self, drive: TwoSpeedDrive, duration_s: float) -> DiskFactors:
+        """Extract ESRRA factors from a finalized drive and score it.
+
+        ``duration_s`` is the simulated horizon used to normalize the
+        transition count to a daily rate and as the power-on time for
+        utilization.  Call :meth:`~repro.disk.TwoSpeedDrive.finalize` (or
+        :meth:`DiskArray.finalize`) beforehand so the ledgers are flushed.
+        """
+        require_positive(duration_s, "duration_s")
+        temp_c = drive.thermal.mean_temperature_c()
+        util_pct = 100.0 * drive.stats.utilization(drive.energy.active_time_s, duration_s)
+        freq = drive.stats.transitions_per_day(duration_s)
+        return DiskFactors(
+            disk_id=drive.disk_id,
+            mean_temperature_c=temp_c,
+            utilization_percent=util_pct,
+            transitions_per_day=freq,
+            afr_percent=self.disk_afr(temp_c, util_pct, freq),
+        )
+
+    def evaluate_array(self, array: DiskArray,
+                       duration_s: float | None = None) -> tuple[float, list[DiskFactors]]:
+        """Array AFR (max over disks, Sec. 3.5) plus per-disk factor detail."""
+        if duration_s is None:
+            duration_s = array.sim.now
+        require_non_negative(duration_s, "duration_s")
+        array.finalize()
+        factors = [self.factors_of(d, duration_s) for d in array.drives]
+        afr = self.integrator.array_afr(f.afr_percent for f in factors)
+        return afr, factors

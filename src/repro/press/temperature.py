@@ -1,0 +1,89 @@
+"""Temperature-reliability function (paper Sec. 3.2, Fig. 2b).
+
+The paper adopts the Google/FAST'07 field statistics for **3-year-old**
+disks as its temperature-AFR curve, arguing (Sec. 3.2) that the third
+year is where the accumulated damage of earlier high-temperature
+operation surfaces as failures, while 4-year data "loses" the hidden
+failures and younger-disk data hides the effect entirely.
+
+The published source is a bar chart, not a table, so the anchors below
+are digitized estimates (see DESIGN.md "Digitized Google-data anchors").
+Between anchors we interpolate with PCHIP — monotone by construction, so
+the model preserves the one property every downstream claim rests on:
+**AFR is non-decreasing in temperature**.  Outside the observed range
+the curve is clamped to the boundary values rather than extrapolated
+(field data gives no license to extrapolate a bar chart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+
+from repro.util.validation import require
+
+__all__ = ["GOOGLE_3YR_TEMPERATURE_ANCHORS", "TemperatureReliability"]
+
+#: (temperature degC, AFR percent) anchors digitized from [22]'s Fig. 5,
+#: 3-year-old population.
+GOOGLE_3YR_TEMPERATURE_ANCHORS: tuple[tuple[float, float], ...] = (
+    (25.0, 4.5),
+    (30.0, 5.0),
+    (35.0, 6.5),
+    (40.0, 9.0),
+    (45.0, 12.0),
+    (50.0, 15.0),
+)
+
+
+class TemperatureReliability:
+    """Callable mapping operating temperature (degC) to AFR (percent).
+
+    Parameters
+    ----------
+    anchors:
+        ``(temp_c, afr_percent)`` pairs, strictly increasing in both
+        coordinates.  Defaults to the digitized 3-year-old Google data.
+
+    Examples
+    --------
+    >>> f = TemperatureReliability()
+    >>> f(40.0)
+    9.0
+    >>> f(50.0) > f(35.0)
+    True
+    """
+
+    def __init__(self, anchors: tuple[tuple[float, float], ...] = GOOGLE_3YR_TEMPERATURE_ANCHORS) -> None:
+        require(len(anchors) >= 2, "need at least two anchors")
+        temps = np.array([a[0] for a in anchors], dtype=np.float64)
+        afrs = np.array([a[1] for a in anchors], dtype=np.float64)
+        require(bool(np.all(np.diff(temps) > 0)), "anchor temperatures must be strictly increasing")
+        require(bool(np.all(np.diff(afrs) >= 0)), "anchor AFRs must be non-decreasing")
+        require(bool(np.all(afrs >= 0)), "anchor AFRs must be non-negative")
+        self._t_min = float(temps[0])
+        self._t_max = float(temps[-1])
+        self._interp = PchipInterpolator(temps, afrs, extrapolate=False)
+        self._lo_val = float(afrs[0])
+        self._hi_val = float(afrs[-1])
+
+    @property
+    def domain_c(self) -> tuple[float, float]:
+        """Temperature range covered by the anchors, degC."""
+        return (self._t_min, self._t_max)
+
+    def __call__(self, temp_c: float | np.ndarray) -> float | np.ndarray:
+        """AFR (percent) at ``temp_c``; clamped outside the anchor range."""
+        t = np.asarray(temp_c, dtype=np.float64)
+        require(bool(np.all(np.isfinite(t))), "temperature must be finite")
+        clipped = np.clip(t, self._t_min, self._t_max)
+        out = self._interp(clipped)
+        if np.ndim(temp_c) == 0:
+            return float(out)
+        return np.asarray(out, dtype=np.float64)
+
+    def curve(self, n_points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+        """Sampled (temps, AFRs) over the anchor domain — Fig. 2b's series."""
+        require(n_points >= 2, "n_points must be >= 2")
+        temps = np.linspace(self._t_min, self._t_max, n_points)
+        return temps, np.asarray(self(temps), dtype=np.float64)

@@ -1,0 +1,198 @@
+"""The event loop: a heap-ordered future event list with stable ties.
+
+Ordering contract
+-----------------
+Events fire in ascending ``(time, priority, seq)`` order:
+
+* ``time`` — simulated seconds;
+* ``priority`` — integer tiebreak for simultaneous events (lower fires
+  first; e.g. "request completion" is processed before "idleness timer"
+  at the same instant so the timer sees an up-to-date queue);
+* ``seq`` — monotone insertion counter, making same-time same-priority
+  events FIFO and the whole loop deterministic.
+
+Cancellation is lazy: :meth:`Simulator.cancel` marks the handle and the
+heap pop discards dead entries, which is O(1) per cancel instead of an
+O(n) heap rebuild — idleness timers are cancelled constantly, so this
+matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Optional
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+Action = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling into the past, bad run bounds)."""
+
+
+class EventHandle:
+    """A scheduled event; keep it to :meth:`cancel <Simulator.cancel>` later.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the event fires.
+    priority:
+        Tiebreak rank among simultaneous events (lower first).
+    """
+
+    __slots__ = ("time", "priority", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, action: Action) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action: Optional[Action] = action
+        self.cancelled = False
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, prio={self.priority}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A discrete-event simulator clock plus future event list.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SimulationError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events dispatched since construction."""
+        return self._events_executed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Action, *, priority: int = 0) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative; a zero delay fires at
+        the current time, after any already-queued events at this time.
+        """
+        if not (isinstance(delay, (int, float)) and math.isfinite(delay)) or delay < 0:
+            raise SimulationError(f"delay must be finite and >= 0, got {delay!r}")
+        return self.schedule_at(self._now + delay, action, priority=priority)
+
+    def schedule_at(self, time: float, action: Action, *, priority: int = 0) -> EventHandle:
+        """Schedule ``action`` at absolute simulated ``time`` (>= now)."""
+        if not (isinstance(time, (int, float)) and math.isfinite(time)):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: event time {time} < now {self._now}"
+            )
+        if not callable(action):
+            raise SimulationError(f"action must be callable, got {action!r}")
+        handle = EventHandle(float(time), int(priority), self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event.  Cancelling twice (or after it fired) is a no-op."""
+        handle.cancelled = True
+        handle.action = None  # break reference cycles early
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns ``False`` when drained."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)
+        self._now = handle.time
+        action, handle.action = handle.action, None
+        self._events_executed += 1
+        assert action is not None  # guaranteed live by _drop_dead
+        action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        execute, and the clock is advanced to ``until`` on return even if
+        the queue drained earlier (so post-run accounting covers the full
+        horizon).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from inside an event action")
+        if until is not None and (not math.isfinite(until) or until < self._now):
+            raise SimulationError(f"until must be finite and >= now, got {until!r}")
+        if max_events is not None and max_events < 0:
+            raise SimulationError(f"max_events must be >= 0, got {max_events!r}")
+
+        self._running = True
+        dispatched = 0
+        try:
+            while True:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self._drop_dead()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+                dispatched += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    # ------------------------------------------------------------------
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,51 @@
+"""Shared utilities: unit conversions, argument validation, RNG helpers.
+
+These are deliberately tiny, dependency-free building blocks used across
+every other subpackage.  Nothing in here knows about disks, workloads, or
+reliability models.
+"""
+
+from repro.util.units import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    JOULES_PER_KWH,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    joules_to_kwh,
+    kwh_to_joules,
+    mb_to_bytes,
+    bytes_to_mb,
+    per_day_to_per_month,
+    per_month_to_per_day,
+)
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_fraction,
+)
+from repro.util.rngtools import rng_from, spawn_rngs
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_YEAR",
+    "JOULES_PER_KWH",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "joules_to_kwh",
+    "kwh_to_joules",
+    "mb_to_bytes",
+    "bytes_to_mb",
+    "per_day_to_per_month",
+    "per_month_to_per_day",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_fraction",
+    "rng_from",
+    "spawn_rngs",
+]

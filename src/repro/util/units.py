@@ -1,0 +1,71 @@
+"""Unit conversions used throughout the simulator and reliability models.
+
+The simulator's canonical units are:
+
+* time        — seconds (floats)
+* energy      — joules
+* power       — watts
+* data size   — megabytes (MB, 10**6 bytes, matching disk datasheets)
+* temperature — degrees Celsius externally, Kelvin inside the Arrhenius
+  equation (the paper uses ``273.16 + C``; we keep that constant for
+  bit-compatibility with the published numbers even though 273.15 is the
+  modern value)
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR: float = 3600.0
+SECONDS_PER_DAY: float = 86400.0
+#: Julian year, the convention disk datasheets use for "annualized" rates.
+SECONDS_PER_YEAR: float = 365.25 * SECONDS_PER_DAY
+DAYS_PER_MONTH: float = 30.0
+JOULES_PER_KWH: float = 3.6e6
+BYTES_PER_MB: float = 1.0e6
+
+#: Celsius -> Kelvin offset as printed in the paper (Sec. 3.4).
+PAPER_KELVIN_OFFSET: float = 273.16
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to Kelvin using the paper's 273.16 offset."""
+    return celsius + PAPER_KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert Kelvin to degrees Celsius using the paper's 273.16 offset."""
+    return kelvin - PAPER_KELVIN_OFFSET
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert megabytes (10**6 bytes, datasheet convention) to bytes."""
+    return mb * BYTES_PER_MB
+
+
+def bytes_to_mb(nbytes: float) -> float:
+    """Convert bytes to megabytes (10**6 bytes, datasheet convention)."""
+    return nbytes / BYTES_PER_MB
+
+
+def per_day_to_per_month(rate_per_day: float) -> float:
+    """Convert an event rate from per-day to per-month (30-day month).
+
+    IDEMA's start/stop adder is tabulated per month while the paper's
+    frequency-reliability function uses per-day; both conversions share
+    this 30-day convention (Sec. 3.4).
+    """
+    return rate_per_day * DAYS_PER_MONTH
+
+
+def per_month_to_per_day(rate_per_month: float) -> float:
+    """Convert an event rate from per-month to per-day (30-day month)."""
+    return rate_per_month / DAYS_PER_MONTH

@@ -1,0 +1,47 @@
+"""Small argument-validation helpers.
+
+Raising early with a precise message is cheaper than debugging a silent
+NaN three subsystems later; every public constructor in the library
+validates through these helpers so the error style is uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def _is_finite_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and math.isfinite(value)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    if not _is_finite_number(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite number > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    if not _is_finite_number(value) or value < 0:
+        raise ValueError(f"{name} must be a finite number >= 0, got {value!r}")
+    return float(value)
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval ``[low, high]``."""
+    if not _is_finite_number(value) or not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` is a fraction in ``[0, 1]``."""
+    return require_in_range(value, 0.0, 1.0, name)

@@ -1,0 +1,80 @@
+"""Core value types shared by the workload and disk layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import require_non_negative, require_positive
+
+__all__ = ["FileSpec", "Request"]
+
+
+@dataclass(frozen=True, slots=True)
+class FileSpec:
+    """One file in the stored data set.
+
+    The paper models a file ``f_i = (s_i, lambda_i)`` — size and access
+    rate (Sec. 4).  The access rate is workload-dependent, so it lives in
+    popularity statistics rather than here; the spec itself is immutable.
+
+    Attributes
+    ----------
+    file_id:
+        Dense integer identifier, ``0 <= file_id < len(fileset)``.
+    size_mb:
+        File size in megabytes.  Each request reads the whole file
+        (whole-file access assumption, Sec. 4).
+    """
+
+    file_id: int
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.file_id < 0:
+            raise ValueError(f"file_id must be >= 0, got {self.file_id}")
+        require_positive(self.size_mb, "size_mb")
+
+
+@dataclass(slots=True)
+class Request:
+    """One whole-file read request submitted to the array.
+
+    Lifecycle fields are filled in by the simulator as the request moves
+    through a disk queue; ``response_time`` is only valid once
+    ``completion_time`` is set.
+    """
+
+    arrival_time: float
+    file_id: int
+    size_mb: float
+    #: Disk that ultimately served the request (set by the policy/array).
+    served_by: int = field(default=-1)
+    #: When the disk began transferring data for this request.
+    service_start: float = field(default=-1.0)
+    #: When the transfer finished.
+    completion_time: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.arrival_time, "arrival_time")
+        if self.file_id < 0:
+            raise ValueError(f"file_id must be >= 0, got {self.file_id}")
+        require_positive(self.size_mb, "size_mb")
+
+    @property
+    def completed(self) -> bool:
+        """Whether the simulator has finished serving this request."""
+        return self.completion_time >= 0.0
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus arrival (the paper's per-request metric)."""
+        if not self.completed:
+            raise ValueError("request has not completed; response_time undefined")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay before service began."""
+        if self.service_start < 0:
+            raise ValueError("request has not started service; waiting_time undefined")
+        return self.service_start - self.arrival_time

@@ -1,0 +1,164 @@
+"""Trace container, statistics, and portable CSV persistence.
+
+A :class:`Trace` is the simulator's sole workload input: parallel numpy
+arrays of arrival times (seconds, sorted) and file ids.  It is what both
+the synthetic generator and the WC98 reader produce, so every experiment
+is agnostic to where its workload came from.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.util.validation import require
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+from repro.workload.zipf import fit_zipf_alpha, measure_access_skew, theta_from_counts
+
+__all__ = ["Trace", "TraceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Summary statistics of a trace (the quantities the paper reports)."""
+
+    n_requests: int
+    n_files_referenced: int
+    duration_s: float
+    mean_interarrival_s: float
+    #: Empirical fraction of accesses hitting the top 20% of files.
+    top20_access_fraction: float
+    #: The paper's skew parameter theta measured at B = 20%.
+    theta: float
+    #: Least-squares Zipf exponent of the observed popularity ranking.
+    zipf_alpha: float
+
+
+class Trace:
+    """An ordered sequence of whole-file read requests.
+
+    Parameters
+    ----------
+    times_s:
+        Arrival times in seconds, non-decreasing, all >= 0.
+    file_ids:
+        File id per request; must index into the eventual
+        :class:`~repro.workload.files.FileSet`.
+    """
+
+    def __init__(self, times_s: np.ndarray, file_ids: np.ndarray) -> None:
+        times = np.asarray(times_s, dtype=np.float64)
+        ids = np.asarray(file_ids, dtype=np.int64)
+        require(times.ndim == 1 and ids.ndim == 1, "trace arrays must be 1-D")
+        require(times.size == ids.size, "times and file_ids must have equal length")
+        if times.size:
+            require(bool(np.all(np.isfinite(times))), "arrival times must be finite")
+            require(float(times[0]) >= 0.0, "arrival times must be >= 0")
+            require(bool(np.all(np.diff(times) >= 0.0)), "arrival times must be sorted")
+            require(bool(np.all(ids >= 0)), "file ids must be >= 0")
+        self._times = times.copy()
+        self._ids = ids.copy()
+        self._times.setflags(write=False)
+        self._ids.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Read-only arrival times (seconds)."""
+        return self._times
+
+    @property
+    def file_ids(self) -> np.ndarray:
+        """Read-only per-request file ids."""
+        return self._ids
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return float(self._times[-1]) if len(self) else 0.0
+
+    def requests(self, fileset: FileSet) -> Iterator[Request]:
+        """Yield materialized :class:`Request` objects (sizes from ``fileset``)."""
+        sizes = fileset.sizes_mb
+        for t, fid in zip(self._times, self._ids):
+            yield Request(arrival_time=float(t), file_id=int(fid), size_mb=float(sizes[fid]))
+
+    def access_counts(self, n_files: int) -> np.ndarray:
+        """Per-file access counts over the whole trace (length ``n_files``)."""
+        require(n_files >= 1, f"n_files must be >= 1, got {n_files}")
+        if len(self):
+            require(int(self._ids.max()) < n_files,
+                    "trace references file ids beyond n_files")
+        return np.bincount(self._ids, minlength=n_files).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def stats(self, n_files: int | None = None) -> TraceStats:
+        """Compute :class:`TraceStats`; ``n_files`` defaults to max id + 1."""
+        require(len(self) >= 2, "need at least 2 requests for trace statistics")
+        if n_files is None:
+            n_files = int(self._ids.max()) + 1
+        counts = self.access_counts(n_files)
+        nonzero = counts[counts > 0]
+        gaps = np.diff(self._times)
+        alpha = fit_zipf_alpha(counts) if nonzero.size >= 2 else 0.0
+        return TraceStats(
+            n_requests=len(self),
+            n_files_referenced=int(nonzero.size),
+            duration_s=self.duration_s,
+            mean_interarrival_s=float(gaps.mean()),
+            top20_access_fraction=measure_access_skew(counts, 0.2),
+            theta=theta_from_counts(counts, 0.2),
+            zipf_alpha=alpha,
+        )
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def time_scaled(self, factor: float) -> "Trace":
+        """Return a copy with all arrival times multiplied by ``factor``.
+
+        ``factor < 1`` compresses the trace — this is exactly how the
+        paper constructs its "heavy workload condition" from the same
+        request stream.
+        """
+        require(factor > 0, f"factor must be > 0, got {factor}")
+        return Trace(self._times * factor, self._ids)
+
+    def head(self, n: int) -> "Trace":
+        """Return the first ``n`` requests as a new trace."""
+        require(n >= 0, f"n must be >= 0, got {n}")
+        return Trace(self._times[:n], self._ids[:n])
+
+    def window(self, start_s: float, end_s: float) -> "Trace":
+        """Requests with arrival in ``[start_s, end_s)``, times re-based to 0."""
+        require(end_s >= start_s, "end_s must be >= start_s")
+        mask = (self._times >= start_s) & (self._times < end_s)
+        return Trace(self._times[mask] - start_s, self._ids[mask])
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write ``time_s,file_id`` rows with a one-line header."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("time_s,file_id\n")
+            buf = io.StringIO()
+            np.savetxt(buf, np.column_stack([self._times, self._ids.astype(np.float64)]),
+                       fmt=["%.9f", "%d"], delimiter=",")
+            fh.write(buf.getvalue())
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace written by :meth:`to_csv`."""
+        data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+        if data.size == 0:
+            return cls(np.empty(0), np.empty(0, dtype=np.int64))
+        return cls(data[:, 0], data[:, 1].astype(np.int64))

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic workloads and device models.
+
+Everything here is sized for sub-second test runs; the full-scale
+paper-shaped sweeps live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disk.parameters import TwoSpeedDiskParams, cheetah_two_speed
+from repro.press.model import PRESSModel
+from repro.sim.engine import Simulator
+from repro.workload.files import FileSet
+from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
+from repro.workload.trace import Trace
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def params() -> TwoSpeedDiskParams:
+    return cheetah_two_speed()
+
+
+@pytest.fixture(scope="session")
+def press() -> PRESSModel:
+    return PRESSModel()
+
+
+@pytest.fixture(scope="session")
+def tiny_fileset() -> FileSet:
+    """Eight files with round sizes for exact-arithmetic tests."""
+    return FileSet(np.array([1.0, 2.0, 4.0, 8.0, 1.0, 2.0, 4.0, 8.0]))
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> tuple[FileSet, Trace]:
+    """A deterministic 5k-request WC-like workload (seeded)."""
+    cfg = SyntheticWorkloadConfig(n_files=120, n_requests=5_000, seed=42,
+                                  mean_interarrival_s=0.02)
+    return WorldCupLikeWorkload(cfg).generate()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticWorkloadConfig:
+    return SyntheticWorkloadConfig(n_files=120, n_requests=5_000, seed=42,
+                                   mean_interarrival_s=0.02)

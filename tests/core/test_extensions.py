@@ -1,0 +1,172 @@
+"""READ extensions: role rotation and hot-file replication."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import (
+    ReplicatingREADConfig,
+    ReplicatingREADPolicy,
+    RotatingREADConfig,
+    RotatingREADPolicy,
+)
+from repro.disk.array import DiskArray
+from repro.disk.parameters import DiskSpeed
+from repro.experiments.runner import run_simulation
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+
+
+@pytest.fixture
+def uniform_files():
+    return FileSet(np.full(24, 1.0))
+
+
+def bound(policy_cls, config, sim, params, fileset, n_disks=4):
+    policy = policy_cls(config)
+    array = DiskArray(sim, params, n_disks, fileset)
+    policy.bind(sim, array, fileset)
+    policy.initial_layout()
+    return policy, array
+
+
+class TestRotatingREAD:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RotatingREADConfig(rotation_epochs=0)
+
+    def test_rotation_swaps_roles(self, sim, params, uniform_files):
+        cfg = RotatingREADConfig(epoch_s=10.0, rotation_epochs=1)
+        policy, array = bound(RotatingREADPolicy, cfg, sim, params, uniform_files)
+        initial_hot = set(int(d) for d in policy.layout.hot_ids)
+        # drive some traffic so epochs have counts
+        for i in range(100):
+            policy.route(Request(i * 0.05, i % 24, 1.0))
+        sim.run(until=25.0)
+        policy.shutdown()
+        assert policy.rotations_performed >= 1
+        assert policy._hot_set != initial_hot
+
+    def test_rotation_respects_budget(self, sim, params, uniform_files):
+        # budget of 1 cannot pay for a two-disk swap: no rotations
+        cfg = RotatingREADConfig(epoch_s=10.0, rotation_epochs=1,
+                                 max_transitions_per_day=1)
+        policy, array = bound(RotatingREADPolicy, cfg, sim, params, uniform_files)
+        for i in range(100):
+            policy.route(Request(i * 0.05, i % 24, 1.0))
+        sim.run(until=25.0)
+        policy.shutdown()
+        assert policy.rotations_performed == 0
+
+    def test_rotation_moves_files_with_roles(self, sim, params, uniform_files):
+        cfg = RotatingREADConfig(epoch_s=10.0, rotation_epochs=1)
+        policy, array = bound(RotatingREADPolicy, cfg, sim, params, uniform_files)
+        for i in range(100):
+            policy.route(Request(i * 0.05, i % 24, 1.0))
+        sim.run(until=25.0)
+        policy.shutdown()
+        if policy.rotations_performed:
+            assert policy.migrations_performed > 0
+
+    def test_describe_includes_rotation(self, sim, params, uniform_files):
+        cfg = RotatingREADConfig(epoch_s=10.0, rotation_epochs=2)
+        policy, _ = bound(RotatingREADPolicy, cfg, sim, params, uniform_files)
+        info = policy.describe()
+        assert info["rotation_epochs"] == 2
+        assert info["rotations_performed"] == 0
+
+    def test_full_run_spreads_hot_tenure(self, small_workload, params):
+        """With rotation, high-speed residence spreads across more disks
+        than the static zone split."""
+        fileset, trace = small_workload
+        rotating = run_simulation(
+            RotatingREADPolicy(RotatingREADConfig(epoch_s=10.0, rotation_epochs=1)),
+            fileset, trace.head(4000), n_disks=5, disk_params=params)
+        plain_hot_temps = run_simulation(
+            RotatingREADPolicy(RotatingREADConfig(epoch_s=10.0, rotation_epochs=10**6)),
+            fileset, trace.head(4000), n_disks=5, disk_params=params)
+        # rotation narrows the spread between hottest and coolest disk
+        def spread(result):
+            temps = [f.mean_temperature_c for f in result.per_disk]
+            return max(temps) - min(temps)
+        assert spread(rotating) <= spread(plain_hot_temps) + 1e-9
+
+
+class TestReplicatingREAD:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatingREADConfig(replicate_top_k=-1)
+
+    def test_replicas_created_for_hot_files(self, sim, params, uniform_files):
+        cfg = ReplicatingREADConfig(epoch_s=10.0, replicate_top_k=2)
+        policy, array = bound(ReplicatingREADPolicy, cfg, sim, params,
+                              uniform_files, n_disks=6)
+        hot_file = 0
+        for i in range(200):
+            policy.route(Request(i * 0.04, hot_file, 1.0))
+        sim.run(until=15.0)
+        policy.shutdown()
+        assert policy.replicas_created >= 1
+        assert hot_file in policy._replicas
+        # replica lives on a hot disk distinct from the primary
+        replica_disk = policy._replicas[hot_file]
+        assert replica_disk != array.location_of(hot_file)
+        assert policy.layout.is_hot(replica_disk)
+
+    def test_replica_dropped_when_file_cools(self, sim, params, uniform_files):
+        cfg = ReplicatingREADConfig(epoch_s=10.0, replicate_top_k=1)
+        policy, array = bound(ReplicatingREADPolicy, cfg, sim, params,
+                              uniform_files, n_disks=6)
+        for i in range(100):
+            policy.route(Request(i * 0.05, 0, 1.0))
+        sim.run(until=11.0)
+        assert 0 in policy._replicas
+        # a different file dominates the next epoch
+        t0 = sim.now
+        for i in range(100):
+            policy.route(Request(t0 + i * 0.05, 1, 1.0))
+        sim.run(until=25.0)
+        policy.shutdown()
+        assert 0 not in policy._replicas
+
+    def test_zero_k_degenerates_to_plain_read(self, sim, params, uniform_files):
+        cfg = ReplicatingREADConfig(epoch_s=10.0, replicate_top_k=0)
+        policy, _ = bound(ReplicatingREADPolicy, cfg, sim, params,
+                          uniform_files, n_disks=6)
+        for i in range(100):
+            policy.route(Request(i * 0.05, 0, 1.0))
+        sim.run(until=25.0)
+        policy.shutdown()
+        assert policy.replicas_created == 0
+
+    def test_routing_picks_less_backlogged_copy(self, sim, params, uniform_files):
+        cfg = ReplicatingREADConfig(epoch_s=5.0, replicate_top_k=1)
+        policy, array = bound(ReplicatingREADPolicy, cfg, sim, params,
+                              uniform_files, n_disks=6)
+        for i in range(100):
+            policy.route(Request(i * 0.02, 0, 1.0))
+        sim.run(until=6.0)
+        assert 0 in policy._replicas
+        primary = array.location_of(0)
+        replica = policy._replicas[0]
+        # pile synthetic work on the primary, then route: must pick replica
+        from repro.disk.drive import Job
+        for _ in range(5):
+            array.drive(primary).submit(Job.internal_transfer(5.0))
+        req = Request(sim.now, 0, 1.0)
+        policy.route(req)
+        sim.run(until=sim.now + 30.0)
+        policy.shutdown()
+        assert req.served_by == replica
+
+    def test_full_run_reduces_worst_utilization(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(4000)
+        plain = run_simulation(
+            ReplicatingREADPolicy(ReplicatingREADConfig(epoch_s=10.0, replicate_top_k=0)),
+            fileset, sub, n_disks=5, disk_params=params)
+        replicated = run_simulation(
+            ReplicatingREADPolicy(ReplicatingREADConfig(epoch_s=10.0, replicate_top_k=8)),
+            fileset, sub, n_disks=5, disk_params=params)
+        assert replicated.policy_detail["active_replicas"] >= 0
+        # replication must not make response time worse
+        assert replicated.mean_response_s <= plain.mean_response_s * 1.25

@@ -1,0 +1,120 @@
+"""FRD migration planning: pure-function invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.migration import plan_migrations
+from repro.core.placement import ZoneLayout
+from repro.core.popularity import split_by_popularity
+
+
+def make_inputs(m=8, n=4, n_hot=2, theta=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    split = split_by_popularity(rng.permutation(m), theta)
+    layout = ZoneLayout(n_disks=n, n_hot=n_hot)
+    placement = rng.integers(0, n, m)
+    sizes = np.ones(m)
+    loads = np.bincount(placement, weights=sizes, minlength=n).astype(float)
+    return split, layout, placement, loads, sizes
+
+
+class TestPlanning:
+    def test_popular_file_on_cold_disk_moves_hot(self):
+        split = split_by_popularity(np.arange(4), 0.5)  # popular: 0,1
+        layout = ZoneLayout(n_disks=4, n_hot=2)
+        placement = np.array([3, 0, 1, 2])  # file 0 is popular but cold
+        sizes = np.ones(4)
+        loads = np.bincount(placement, weights=sizes, minlength=4).astype(float)
+        plan = plan_migrations(split, layout, placement, loads, sizes, 100.0)
+        moves = dict(plan.moves)
+        assert 0 in moves and moves[0] in (0, 1)
+
+    def test_unpopular_file_on_hot_disk_moves_cold(self):
+        split = split_by_popularity(np.arange(4), 0.5)  # unpopular: 2,3
+        layout = ZoneLayout(n_disks=4, n_hot=2)
+        placement = np.array([0, 1, 0, 3])  # file 2 unpopular but hot
+        sizes = np.ones(4)
+        loads = np.bincount(placement, weights=sizes, minlength=4).astype(float)
+        plan = plan_migrations(split, layout, placement, loads, sizes, 100.0)
+        moves = dict(plan.moves)
+        assert 2 in moves and moves[2] in (2, 3)
+
+    def test_correctly_zoned_files_stay(self):
+        split = split_by_popularity(np.arange(4), 0.5)
+        layout = ZoneLayout(n_disks=4, n_hot=2)
+        placement = np.array([0, 1, 2, 3])  # perfectly zoned
+        sizes = np.ones(4)
+        loads = np.ones(4)
+        plan = plan_migrations(split, layout, placement, loads, sizes, 100.0)
+        assert len(plan) == 0
+
+    def test_destinations_balance_load(self):
+        split = split_by_popularity(np.arange(6), 0.5)  # popular: 0,1,2
+        layout = ZoneLayout(n_disks=4, n_hot=2)
+        placement = np.array([2, 3, 2, 3, 2, 3])  # everything cold
+        sizes = np.ones(6)
+        loads = np.array([0.0, 5.0, 3.0, 3.0])  # hot disk 0 nearly empty
+        plan = plan_migrations(split, layout, placement, loads, sizes, 100.0)
+        # first mover goes to the least-loaded hot disk (0)
+        assert plan.moves[0][1] == 0
+
+    def test_max_moves_cap(self):
+        split, layout, placement, loads, sizes = make_inputs(m=20, seed=3)
+        capped = plan_migrations(split, layout, placement, loads, sizes, 1e6,
+                                 max_moves=2)
+        assert len(capped) <= 2
+
+    def test_hottest_movers_first(self):
+        split = split_by_popularity(np.array([4, 3, 2, 1, 0]), 0.4)
+        layout = ZoneLayout(n_disks=4, n_hot=2)
+        placement = np.array([2, 2, 2, 2, 2])  # all cold
+        sizes = np.ones(5)
+        loads = np.bincount(placement, weights=sizes, minlength=4).astype(float)
+        plan = plan_migrations(split, layout, placement, loads, sizes, 100.0)
+        # most popular mover (file 4, rank 0) is first
+        assert plan.moves[0][0] == 4
+
+    def test_full_zone_skips_move(self):
+        split = split_by_popularity(np.arange(3), 0.5)  # popular: 0 (and 1)
+        layout = ZoneLayout(n_disks=2, n_hot=1)
+        placement = np.array([1, 0, 1])
+        sizes = np.array([5.0, 5.0, 1.0])
+        loads = np.array([5.0, 6.0])
+        # hot disk 0 has 5 of 8 capacity used: file 0 (5 MB) cannot fit
+        plan = plan_migrations(split, layout, placement, loads, sizes, 8.0)
+        assert 0 not in dict(plan.moves)
+
+    @given(st.integers(4, 40), st.integers(2, 6), st.floats(0.1, 0.9),
+           st.integers(0, 100))
+    @settings(max_examples=100)
+    def test_plan_never_overfills_and_moves_are_cross_zone(self, m, n, theta, seed):
+        rng = np.random.default_rng(seed)
+        split = split_by_popularity(rng.permutation(m), theta)
+        n_hot = rng.integers(1, n)
+        layout = ZoneLayout(n_disks=n, n_hot=int(n_hot))
+        placement = rng.integers(0, n, m)
+        sizes = rng.uniform(0.1, 1.0, m)
+        loads = np.bincount(placement, weights=sizes, minlength=n).astype(float)
+        capacity = float(sizes.sum())
+        plan = plan_migrations(split, layout, placement, loads, sizes, capacity)
+
+        popular = set(split.popular_ids.tolist())
+        new_loads = loads.copy()
+        for fid, dst in plan.moves:
+            src = placement[fid]
+            assert src != dst
+            # moves always correct the zone
+            if fid in popular:
+                assert not layout.is_hot(int(src)) and layout.is_hot(dst)
+            else:
+                assert layout.is_hot(int(src)) and not layout.is_hot(dst)
+            new_loads[src] -= sizes[fid]
+            new_loads[dst] += sizes[fid]
+        assert np.all(new_loads <= capacity + 1e-9)
+
+    def test_plan_file_ids_accessor(self):
+        split, layout, placement, loads, sizes = make_inputs(seed=5)
+        plan = plan_migrations(split, layout, placement, loads, sizes, 1e6)
+        assert plan.file_ids == [fid for fid, _ in plan.moves]

@@ -1,0 +1,88 @@
+"""Property-based drive tests: the accounting invariants hold under any
+interleaving of jobs and speed requests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.drive import Job, TwoSpeedDrive
+from repro.disk.parameters import DiskSpeed, cheetah_two_speed
+from repro.sim.engine import Simulator
+
+PARAMS = cheetah_two_speed()
+
+# an action script: (kind, value) where kind submits a job, requests a
+# speed, or lets time pass
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("job"), st.floats(0.1, 50.0)),
+        st.tuples(st.just("speed"), st.sampled_from([DiskSpeed.LOW, DiskSpeed.HIGH])),
+        st.tuples(st.just("wait"), st.floats(0.1, 100.0)),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+def run_script(script):
+    sim = Simulator()
+    drive = TwoSpeedDrive(sim, PARAMS, 0)
+    t = 0.0
+    jobs = []
+    for kind, value in script:
+        if kind == "job":
+            job = Job.internal_transfer(value)
+            jobs.append(job)
+            sim.schedule_at(t, (lambda j=job: drive.submit(j)))
+        elif kind == "speed":
+            sim.schedule_at(t, (lambda s=value: drive.request_speed(s)))
+        else:
+            t += value
+    sim.run()
+    drive.finalize()
+    return sim, drive, jobs
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_state_time_partitions_wall_clock(script):
+    sim, drive, _jobs = run_script(script)
+    assert drive.energy.total_time_s == pytest.approx(sim.now, abs=1e-6)
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_all_jobs_complete_exactly_once(script):
+    _sim, drive, jobs = run_script(script)
+    assert all(j.completion_time >= 0 for j in jobs)
+    assert drive.stats.internal_jobs_served == len(jobs)
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_service_never_overlaps_and_is_fcfs_per_submit_order(script):
+    _sim, drive, jobs = run_script(script)
+    spans = sorted((j.service_start, j.completion_time) for j in jobs)
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2 + 1e-9
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_energy_bounded_by_extreme_power_states(script):
+    sim, drive, _jobs = run_script(script)
+    if sim.now == 0.0:
+        return
+    min_power = PARAMS.low.idle_w
+    max_power = max(PARAMS.high.active_w, PARAMS.transition_power_w)
+    energy = drive.energy.total_energy_j
+    assert min_power * sim.now - 1e-6 <= energy <= max_power * sim.now + 1e-6
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_temperature_stays_within_model_bounds(script):
+    _sim, drive, _jobs = run_script(script)
+    lo = min(28.0, PARAMS.low.steady_temp_c)
+    hi = PARAMS.high.steady_temp_c
+    assert lo - 1e-9 <= drive.thermal.temperature_c <= hi + 1e-9
+    assert lo - 1e-9 <= drive.thermal.mean_temperature_c() <= hi + 1e-9

@@ -1,0 +1,65 @@
+"""Energy meter: per-state accounting and exact bookkeeping."""
+
+import pytest
+
+from repro.disk.energy import DiskPowerState, EnergyMeter
+from repro.disk.parameters import DiskSpeed
+
+
+class TestDiskPowerState:
+    @pytest.mark.parametrize("active,speed,expected", [
+        (False, DiskSpeed.LOW, DiskPowerState.IDLE_LOW),
+        (False, DiskSpeed.HIGH, DiskPowerState.IDLE_HIGH),
+        (True, DiskSpeed.LOW, DiskPowerState.ACTIVE_LOW),
+        (True, DiskSpeed.HIGH, DiskPowerState.ACTIVE_HIGH),
+    ])
+    def test_of(self, active, speed, expected):
+        assert DiskPowerState.of(active, speed) is expected
+
+
+class TestEnergyMeter:
+    def test_power_mapping_matches_params(self, params):
+        meter = EnergyMeter(params)
+        assert meter.power_w(DiskPowerState.IDLE_LOW) == params.low.idle_w
+        assert meter.power_w(DiskPowerState.ACTIVE_HIGH) == params.high.active_w
+        assert meter.power_w(DiskPowerState.TRANSITION) == pytest.approx(
+            params.transition_power_w)
+
+    def test_accumulate_energy_is_power_times_time(self, params):
+        meter = EnergyMeter(params)
+        meter.accumulate(DiskPowerState.IDLE_HIGH, 10.0)
+        assert meter.energy_j(DiskPowerState.IDLE_HIGH) == pytest.approx(
+            params.high.idle_w * 10.0)
+
+    def test_totals_are_sums(self, params):
+        meter = EnergyMeter(params)
+        meter.accumulate(DiskPowerState.IDLE_LOW, 5.0)
+        meter.accumulate(DiskPowerState.ACTIVE_HIGH, 2.0)
+        meter.accumulate(DiskPowerState.TRANSITION, 1.0)
+        assert meter.total_time_s == pytest.approx(8.0)
+        expected = (params.low.idle_w * 5 + params.high.active_w * 2
+                    + params.transition_power_w * 1)
+        assert meter.total_energy_j == pytest.approx(expected)
+
+    def test_active_time_sums_both_speeds(self, params):
+        meter = EnergyMeter(params)
+        meter.accumulate(DiskPowerState.ACTIVE_LOW, 3.0)
+        meter.accumulate(DiskPowerState.ACTIVE_HIGH, 4.0)
+        meter.accumulate(DiskPowerState.IDLE_LOW, 100.0)
+        assert meter.active_time_s == pytest.approx(7.0)
+
+    def test_breakdown_keys(self, params):
+        meter = EnergyMeter(params)
+        bd = meter.breakdown()
+        assert set(bd) == {"idle_low", "idle_high", "active_low", "active_high",
+                           "transition"}
+        assert all(v == 0.0 for v in bd.values())
+
+    def test_negative_dt_rejected(self, params):
+        with pytest.raises(ValueError):
+            EnergyMeter(params).accumulate(DiskPowerState.IDLE_LOW, -1.0)
+
+    def test_zero_dt_allowed(self, params):
+        meter = EnergyMeter(params)
+        meter.accumulate(DiskPowerState.IDLE_LOW, 0.0)
+        assert meter.total_energy_j == 0.0

@@ -1,0 +1,90 @@
+"""Queue disciplines: FCFS vs SJF semantics and the classic trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.disk.drive import Job, QueueDiscipline, TwoSpeedDrive
+from repro.experiments.runner import make_policy, run_simulation
+from repro.sim.engine import Simulator
+from repro.workload.files import FileSet
+from repro.workload.trace import Trace
+
+
+class TestSemantics:
+    def test_fcfs_is_submission_order(self, sim, params):
+        drive = TwoSpeedDrive(sim, params, 0,
+                              queue_discipline=QueueDiscipline.FCFS)
+        done = []
+        for size, tag in [(10.0, "big"), (0.1, "small"), (5.0, "mid")]:
+            drive.submit(Job.internal_transfer(size, on_complete=(
+                lambda j, t=tag: done.append(t))))
+        sim.run()
+        assert done == ["big", "small", "mid"]
+
+    def test_sjf_picks_smallest_queued(self, sim, params):
+        drive = TwoSpeedDrive(sim, params, 0,
+                              queue_discipline=QueueDiscipline.SJF)
+        done = []
+        # first job starts immediately (non-preemptive); the rest queue
+        for size, tag in [(10.0, "first"), (5.0, "mid"), (0.1, "small")]:
+            drive.submit(Job.internal_transfer(size, on_complete=(
+                lambda j, t=tag: done.append(t))))
+        sim.run()
+        assert done == ["first", "small", "mid"]
+
+    def test_sjf_fifo_tiebreak(self, sim, params):
+        drive = TwoSpeedDrive(sim, params, 0,
+                              queue_discipline=QueueDiscipline.SJF)
+        done = []
+        for tag in ["first", "a", "b", "c"]:
+            drive.submit(Job.internal_transfer(1.0, on_complete=(
+                lambda j, t=tag: done.append(t))))
+        sim.run()
+        assert done == ["first", "a", "b", "c"]
+
+    def test_all_jobs_still_complete(self, sim, params):
+        drive = TwoSpeedDrive(sim, params, 0,
+                              queue_discipline=QueueDiscipline.SJF)
+        jobs = [Job.internal_transfer(s) for s in (3.0, 1.0, 2.0, 0.5)]
+        for j in jobs:
+            drive.submit(j)
+        sim.run()
+        assert all(j.completion_time >= 0 for j in jobs)
+        assert drive.stats.internal_jobs_served == 4
+
+
+class TestTradeOff:
+    """SJF lowers the mean and raises the big-file tail on heavy-tailed
+    sizes — the textbook result, on our simulator."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(0)
+        sizes = np.concatenate([np.full(45, 0.02), np.full(5, 10.0)])
+        fileset = FileSet(sizes)
+        n = 4_000
+        times = np.sort(rng.uniform(0, 400.0, n))
+        fids = rng.integers(0, 50, n)
+        return fileset, Trace(times, fids)
+
+    def test_sjf_improves_mean_response(self, workload, params):
+        fileset, trace = workload
+        fcfs = run_simulation(make_policy("static-high"), fileset, trace,
+                              n_disks=2, disk_params=params,
+                              queue_discipline=QueueDiscipline.FCFS)
+        sjf = run_simulation(make_policy("static-high"), fileset, trace,
+                             n_disks=2, disk_params=params,
+                             queue_discipline=QueueDiscipline.SJF)
+        assert sjf.mean_response_s < fcfs.mean_response_s
+
+    def test_energy_independent_of_discipline(self, workload, params):
+        """Work conservation: the same jobs at the same speeds consume
+        the same energy regardless of service order."""
+        fileset, trace = workload
+        fcfs = run_simulation(make_policy("static-high"), fileset, trace,
+                              n_disks=2, disk_params=params,
+                              queue_discipline=QueueDiscipline.FCFS)
+        sjf = run_simulation(make_policy("static-high"), fileset, trace,
+                             n_disks=2, disk_params=params,
+                             queue_discipline=QueueDiscipline.SJF)
+        assert sjf.total_energy_j == pytest.approx(fcfs.total_energy_j, rel=0.01)

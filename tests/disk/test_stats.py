@@ -1,0 +1,71 @@
+"""Per-drive statistics: counting, day buckets, normalization."""
+
+import pytest
+
+from repro.disk.stats import DiskStats
+from repro.util.units import SECONDS_PER_DAY
+
+
+class TestServiceCounting:
+    def test_user_vs_internal(self):
+        s = DiskStats(0)
+        s.record_service(2.0, internal=False)
+        s.record_service(3.0, internal=True)
+        assert s.requests_served == 1
+        assert s.internal_jobs_served == 1
+        assert s.mb_served == pytest.approx(5.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskStats(0).record_service(0.0, internal=False)
+
+
+class TestTransitionCounting:
+    def test_day_bucketing(self):
+        s = DiskStats(0)
+        s.record_transition(10.0)
+        s.record_transition(SECONDS_PER_DAY - 1)
+        s.record_transition(SECONDS_PER_DAY + 1)
+        assert s.speed_transitions_total == 3
+        assert s.transitions_on_day(0) == 2
+        assert s.transitions_on_day(1) == 1
+        assert s.transitions_on_day(7) == 0
+
+    def test_max_transitions_per_day(self):
+        s = DiskStats(0)
+        assert s.max_transitions_per_day() == 0
+        for t in (1.0, 2.0, 3.0, SECONDS_PER_DAY + 5):
+            s.record_transition(t)
+        assert s.max_transitions_per_day() == 3
+
+    def test_per_day_normalization_extrapolates(self):
+        s = DiskStats(0)
+        for t in (1.0, 2.0):
+            s.record_transition(t)
+        # 2 transitions in half a day -> 4 per day
+        assert s.transitions_per_day(SECONDS_PER_DAY / 2) == pytest.approx(4.0)
+
+    def test_per_day_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            DiskStats(0).transitions_per_day(0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            DiskStats(0).record_transition(-1.0)
+
+
+class TestUtilization:
+    def test_paper_definition(self):
+        s = DiskStats(0)
+        assert s.utilization(25.0, 100.0) == pytest.approx(0.25)
+
+    def test_clamped_at_one(self):
+        s = DiskStats(0)
+        assert s.utilization(150.0, 100.0) == 1.0
+
+    def test_zero_active(self):
+        assert DiskStats(0).utilization(0.0, 100.0) == 0.0
+
+    def test_invalid_power_on_time(self):
+        with pytest.raises(ValueError):
+            DiskStats(0).utilization(1.0, 0.0)

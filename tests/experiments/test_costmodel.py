@@ -1,0 +1,88 @@
+"""Cost model: annualization and the worthwhileness verdict."""
+
+import pytest
+
+from repro.experiments.costmodel import (
+    CostAssumptions,
+    evaluate_worthwhileness,
+    expected_failures_per_year,
+)
+from repro.experiments.metrics import SimulationResult
+from repro.util.units import SECONDS_PER_YEAR
+
+
+def result(name, energy_j, afr, duration=3600.0, n_disks=10, n_requests=100):
+    return SimulationResult(
+        policy_name=name, n_disks=n_disks, n_requests=n_requests,
+        duration_s=duration, mean_response_s=0.01, p95_response_s=0.02,
+        p99_response_s=0.03, total_energy_j=energy_j, array_afr_percent=afr,
+        per_disk=(), total_transitions=0, internal_jobs=0)
+
+
+class TestExpectedFailures:
+    def test_formula(self):
+        assert expected_failures_per_year(5.0, 10) == pytest.approx(0.5)
+
+    def test_zero_afr(self):
+        assert expected_failures_per_year(0.0, 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_failures_per_year(-1.0, 10)
+        with pytest.raises(ValueError):
+            expected_failures_per_year(5.0, 0)
+
+
+class TestAssumptions:
+    def test_failure_cost_sums(self):
+        a = CostAssumptions(disk_replacement_usd=100.0, data_loss_cost_usd=900.0)
+        assert a.failure_cost_usd == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostAssumptions(electricity_usd_per_kwh=0.0)
+        with pytest.raises(ValueError):
+            CostAssumptions(power_overhead_factor=0.5)
+
+
+class TestVerdict:
+    def test_energy_saving_computed_annualized(self):
+        # scheme saves 3.6 MJ (= 1 kWh) per hour -> 8766 kWh/year
+        scheme = result("scheme", energy_j=0.0, afr=5.0)
+        ref = result("ref", energy_j=3.6e6, afr=5.0)
+        a = CostAssumptions(electricity_usd_per_kwh=0.10, power_overhead_factor=1.0)
+        verdict = evaluate_worthwhileness(scheme, ref, a)
+        hours_per_year = SECONDS_PER_YEAR / 3600.0
+        assert verdict.energy_saving_usd_per_year == pytest.approx(0.10 * hours_per_year)
+        assert verdict.extra_failure_cost_usd_per_year == 0.0
+        assert verdict.worthwhile
+
+    def test_reliability_loss_can_outweigh_saving(self):
+        """The paper's Sec. 3.5 argument: high-AFR energy saving loses money."""
+        scheme = result("aggressive", energy_j=3.0e6, afr=20.0)
+        ref = result("static", energy_j=3.6e6, afr=7.5)
+        verdict = evaluate_worthwhileness(scheme, ref)
+        assert verdict.extra_failure_cost_usd_per_year > 0
+        assert not verdict.worthwhile
+
+    def test_more_reliable_and_cheaper_is_always_worthwhile(self):
+        scheme = result("read", energy_j=3.0e6, afr=7.0)
+        ref = result("static", energy_j=3.6e6, afr=7.5)
+        verdict = evaluate_worthwhileness(scheme, ref)
+        assert verdict.worthwhile
+        assert verdict.extra_failure_cost_usd_per_year < 0  # reliability gain
+
+    def test_net_benefit_sign_consistency(self):
+        scheme = result("s", energy_j=3.59e6, afr=7.6)
+        ref = result("r", energy_j=3.6e6, afr=7.5)
+        verdict = evaluate_worthwhileness(scheme, ref)
+        assert verdict.net_benefit_usd_per_year == pytest.approx(
+            verdict.energy_saving_usd_per_year - verdict.extra_failure_cost_usd_per_year)
+
+    def test_mismatched_runs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_worthwhileness(result("a", 1.0, 5.0, n_disks=4),
+                                    result("b", 1.0, 5.0, n_disks=8))
+        with pytest.raises(ValueError):
+            evaluate_worthwhileness(result("a", 1.0, 5.0, n_requests=10),
+                                    result("b", 1.0, 5.0, n_requests=20))

@@ -1,0 +1,95 @@
+"""Failure Monte Carlo: rates, redundancy semantics, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.failures import (
+    annual_failure_rate_to_rate,
+    simulate_failures,
+)
+
+
+class TestRateConversion:
+    def test_small_afr_approximately_linear(self):
+        assert annual_failure_rate_to_rate(2.0) == pytest.approx(0.0202, abs=1e-3)
+
+    def test_exact_inversion(self):
+        rate = annual_failure_rate_to_rate(38.0)
+        assert 1.0 - np.exp(-rate) == pytest.approx(0.38)
+
+    def test_zero(self):
+        assert annual_failure_rate_to_rate(0.0) == 0.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            annual_failure_rate_to_rate(100.0)
+        with pytest.raises(ValueError):
+            annual_failure_rate_to_rate(-1.0)
+
+
+class TestSimulation:
+    def test_expected_failures_match_analytic(self):
+        afr = 8.0
+        fa = simulate_failures([afr] * 10, years=5.0, n_trials=3000, seed=1)
+        analytic = 10 * 5.0 * annual_failure_rate_to_rate(afr)
+        assert fa.expected_failures == pytest.approx(analytic, rel=0.1)
+
+    def test_no_redundancy_every_failure_loses_data(self):
+        fa = simulate_failures([10.0] * 4, years=3.0, n_trials=1000,
+                               redundancy="none", seed=2)
+        assert fa.mean_loss_events == pytest.approx(fa.expected_failures)
+
+    def test_parity_much_safer_than_none(self):
+        none = simulate_failures([8.0] * 10, years=5.0, n_trials=1500,
+                                 redundancy="none", seed=3)
+        parity = simulate_failures([8.0] * 10, years=5.0, n_trials=1500,
+                                   redundancy="parity", seed=3)
+        assert parity.p_data_loss < none.p_data_loss / 5
+
+    def test_parity_loss_grows_with_repair_window(self):
+        fast = simulate_failures([20.0] * 12, years=5.0, n_trials=1500,
+                                 redundancy="parity", repair_hours=6.0, seed=4)
+        slow = simulate_failures([20.0] * 12, years=5.0, n_trials=1500,
+                                 redundancy="parity", repair_hours=24 * 14, seed=4)
+        assert slow.p_data_loss > fast.p_data_loss
+
+    def test_higher_afr_more_loss(self):
+        low = simulate_failures([4.0] * 10, years=5.0, n_trials=1500,
+                                redundancy="parity", seed=5)
+        high = simulate_failures([30.0] * 10, years=5.0, n_trials=1500,
+                                 redundancy="parity", seed=5)
+        assert high.p_data_loss > low.p_data_loss
+        assert high.expected_failures > low.expected_failures
+
+    def test_mirror_pairs_requires_even(self):
+        with pytest.raises(ValueError):
+            simulate_failures([5.0] * 3, redundancy="mirror_pairs")
+
+    def test_mirror_pairs_runs_and_is_safer_than_none(self):
+        none = simulate_failures([10.0] * 8, years=5.0, n_trials=1000,
+                                 redundancy="none", seed=6)
+        mirror = simulate_failures([10.0] * 8, years=5.0, n_trials=1000,
+                                   redundancy="mirror_pairs", seed=6)
+        assert mirror.p_data_loss < none.p_data_loss
+
+    def test_deterministic_with_seed(self):
+        a = simulate_failures([7.0] * 6, n_trials=500, seed=9)
+        b = simulate_failures([7.0] * 6, n_trials=500, seed=9)
+        assert a == b
+
+    def test_zero_afr_never_fails(self):
+        fa = simulate_failures([0.0] * 5, n_trials=200, seed=7)
+        assert fa.expected_failures == 0.0
+        assert fa.p_data_loss == 0.0
+
+    def test_per_disk_afrs_heterogeneous(self):
+        fa = simulate_failures([1.0, 30.0], years=5.0, n_trials=1000, seed=8)
+        assert fa.expected_failures > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_failures([])
+        with pytest.raises(ValueError):
+            simulate_failures([5.0], years=0.0)
+        with pytest.raises(ValueError):
+            simulate_failures([5.0], n_trials=0)

@@ -1,0 +1,82 @@
+"""Figure-regeneration functions: series shapes and small sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    Figure7Results,
+    figure2b_series,
+    figure3b_series,
+    figure4a_series,
+    figure4b_series,
+    figure5_surface,
+    figure7_comparison,
+    headline_summary,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+
+class TestModelFigures:
+    def test_fig2b(self):
+        temps, afrs = figure2b_series()
+        assert temps[0] == 25.0 and temps[-1] == 50.0
+        assert np.all(np.diff(afrs) >= -1e-12)
+
+    def test_fig3b(self):
+        utils, afrs = figure3b_series()
+        assert utils[0] == 25.0 and utils[-1] == 100.0
+        assert afrs[0] == 6.0 and afrs[-1] == 12.0
+
+    def test_fig4a_doubles_fig4b(self):
+        _, a = figure4a_series(21)
+        _, b = figure4b_series(21)
+        np.testing.assert_allclose(a, 2 * b)
+
+    def test_fig5_50c_dominates_40c(self):
+        _, _, s40 = figure5_surface(40.0)
+        _, _, s50 = figure5_surface(50.0)
+        assert s40.shape == s50.shape == (16, 17)
+        assert np.all(s50 > s40)
+
+
+@pytest.fixture(scope="module")
+def tiny_fig7():
+    cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=100, n_requests=4000, seed=3, mean_interarrival_s=0.01))
+    return figure7_comparison(cfg, disk_counts=(4, 6),
+                              policies=("read", "static-high"),
+                              policy_kwargs={"read": {"epoch_s": 10.0}})
+
+
+class TestFigure7:
+    def test_structure(self, tiny_fig7):
+        assert tiny_fig7.disk_counts == (4, 6)
+        assert set(tiny_fig7.results) == {"read", "static-high"}
+        assert all(len(runs) == 2 for runs in tiny_fig7.results.values())
+
+    def test_series_extraction(self, tiny_fig7):
+        for metric in ("afr", "energy", "response"):
+            series = tiny_fig7.series(metric)
+            assert set(series) == {"read", "static-high"}
+            assert all(v.shape == (2,) for v in series.values())
+            assert all(np.all(v > 0) for v in series.values())
+
+    def test_unknown_metric_rejected(self, tiny_fig7):
+        with pytest.raises(ValueError):
+            tiny_fig7.series("latency")
+
+    def test_same_trace_for_all_policies(self, tiny_fig7):
+        reqs = {runs[0].n_requests for runs in tiny_fig7.results.values()}
+        assert len(reqs) == 1
+
+    def test_headline_summary(self, tiny_fig7):
+        summary = headline_summary(tiny_fig7, baseline="read")
+        assert set(summary) == {"afr", "energy", "response"}
+        for metric_stats in summary.values():
+            assert "vs_static-high_mean_%" in metric_stats
+            assert "vs_static-high_max_%" in metric_stats
+
+    def test_headline_requires_known_baseline(self, tiny_fig7):
+        with pytest.raises(ValueError):
+            headline_summary(tiny_fig7, baseline="nope")

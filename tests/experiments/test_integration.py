@@ -1,0 +1,109 @@
+"""Cross-module integration: the paper's qualitative claims at test scale.
+
+These are the shape-level assertions EXPERIMENTS.md reports at full
+scale, checked here on a reduced workload so they run in CI time.  The
+workload is bursty + drifting (the regime Sec. 5 exercises — see
+DESIGN.md) and large enough for the orderings to be stable.
+"""
+
+import pytest
+
+from repro.experiments.costmodel import CostAssumptions, evaluate_worthwhileness
+from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared light-condition comparison across all policies."""
+    cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=800, n_requests=40_000, seed=7, bursty=True))
+    fileset, trace = cfg.generate()
+    out = {}
+    for name in ("static-high", "read", "maid", "pdc"):
+        out[name] = run_simulation(make_policy(name), fileset, trace,
+                                   n_disks=8, disk_params=cfg.disk_params)
+    return out
+
+
+class TestPaperOrderings:
+    def test_afr_ordering_read_best_pdc_worst(self, comparison):
+        """Fig. 7a: READ < MAID < PDC on array AFR."""
+        assert comparison["read"].array_afr_percent \
+            <= comparison["maid"].array_afr_percent \
+            <= comparison["pdc"].array_afr_percent
+        assert comparison["read"].array_afr_percent \
+            < comparison["pdc"].array_afr_percent
+
+    def test_read_saves_energy_vs_static(self, comparison):
+        """READ spends less than the no-energy-management array."""
+        assert comparison["read"].total_energy_j \
+            < comparison["static-high"].total_energy_j
+
+    def test_read_saves_energy_vs_baselines(self, comparison):
+        """Fig. 7b (light): READ below both MAID and PDC."""
+        assert comparison["read"].total_energy_j < comparison["maid"].total_energy_j
+        assert comparison["read"].total_energy_j < comparison["pdc"].total_energy_j
+
+    def test_response_time_ordering(self, comparison):
+        """Fig. 7c: READ fastest of the three schemes; PDC slowest."""
+        assert comparison["read"].mean_response_s < comparison["maid"].mean_response_s
+        assert comparison["read"].mean_response_s < comparison["pdc"].mean_response_s
+        assert comparison["maid"].mean_response_s < comparison["pdc"].mean_response_s
+
+    def test_transition_counts_tell_the_story(self, comparison):
+        """READ's cap holds while the baselines churn (Sec. 5.2)."""
+        assert comparison["read"].total_transitions \
+            < comparison["maid"].total_transitions
+        assert comparison["read"].total_transitions \
+            < comparison["pdc"].total_transitions
+
+    def test_static_high_never_transitions(self, comparison):
+        assert comparison["static-high"].total_transitions == 0
+
+
+class TestWorthwhileness:
+    def test_title_question_for_churny_scheme(self, comparison):
+        """PDC's energy saving does not pay for its AFR at default
+        (reliability-critical) cost assumptions — the paper's thesis."""
+        verdict = evaluate_worthwhileness(comparison["pdc"],
+                                          comparison["static-high"])
+        assert not verdict.worthwhile
+
+    def test_read_is_worthwhile(self, comparison):
+        """READ saves energy without an AFR penalty -> positive verdict."""
+        verdict = evaluate_worthwhileness(comparison["read"],
+                                          comparison["static-high"])
+        assert verdict.worthwhile
+
+    def test_cheap_data_changes_the_answer(self, comparison):
+        """With worthless data and free disks, even PDC's saving can win —
+        the verdict is assumption-dependent, as the paper stresses."""
+        lax = CostAssumptions(disk_replacement_usd=0.0, data_loss_cost_usd=0.0)
+        verdict = evaluate_worthwhileness(comparison["pdc"],
+                                          comparison["static-high"], lax)
+        assert verdict.extra_failure_cost_usd_per_year == 0.0
+
+
+class TestHeavyCondition:
+    def test_heavy_utilization_differentiates(self):
+        """Fig. 7 heavy: concentration pushes PDC's head-disk utilization
+        into a higher PRESS bucket than READ's spread load."""
+        from repro.policies.base import SpeedControlConfig
+
+        cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+            n_files=400, n_requests=60_000, seed=9, bursty=True,
+            mean_interarrival_s=0.005))
+        fileset, trace = cfg.generate()
+        # freeze speed churn on both sides: this test isolates the
+        # utilization channel (short horizons make the per-day frequency
+        # extrapolation meaninglessly twitchy)
+        frozen = SpeedControlConfig(idle_threshold_s=1e6, spin_up_queue_len=1)
+        read = run_simulation(make_policy("read", epoch_s=30.0, speed=frozen),
+                              fileset, trace, n_disks=6, disk_params=cfg.disk_params)
+        pdc = run_simulation(make_policy("pdc", epoch_s=30.0, speed=frozen),
+                             fileset, trace, n_disks=6, disk_params=cfg.disk_params)
+        read_max_util = max(f.utilization_percent for f in read.per_disk)
+        pdc_max_util = max(f.utilization_percent for f in pdc.per_disk)
+        assert pdc_max_util > read_max_util
+        assert pdc.array_afr_percent >= read.array_afr_percent

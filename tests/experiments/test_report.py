@@ -1,0 +1,59 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.experiments.figures import figure7_comparison
+from repro.experiments.report import render_markdown_report, write_markdown_report
+from repro.experiments.runner import ExperimentConfig
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def small_fig7():
+    cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=80, n_requests=3_000, seed=5, mean_interarrival_s=0.01))
+    return figure7_comparison(cfg, disk_counts=(3, 5),
+                              policies=("read", "static-high"),
+                              policy_kwargs={"read": {"epoch_s": 10.0}})
+
+
+class TestRender:
+    def test_contains_all_sections(self, small_fig7):
+        md = render_markdown_report(small_fig7)
+        assert md.startswith("# Policy comparison")
+        assert "### Array AFR" in md
+        assert "### Energy" in md
+        assert "### Mean response time" in md
+        assert "## read improvements" in md
+        assert "## Worthwhileness vs the always-on array" in md
+
+    def test_custom_title_and_no_baseline(self, small_fig7):
+        md = render_markdown_report(small_fig7, title="My Study", baseline=None)
+        assert md.startswith("# My Study")
+        assert "improvements" not in md
+
+    def test_tables_have_all_disk_counts(self, small_fig7):
+        md = render_markdown_report(small_fig7)
+        assert "| 3 |" in md
+        assert "| 5 |" in md
+
+    def test_worthwhile_rows_per_policy_and_size(self, small_fig7):
+        md = render_markdown_report(small_fig7)
+        # one verdict row per (non-reference policy, size): read x {3, 5}
+        verdict_rows = [l for l in md.splitlines()
+                        if l.startswith("| read |")]
+        assert len(verdict_rows) == 2
+        assert all(("worthwhile" in r) for r in verdict_rows)
+
+    def test_markdown_tables_well_formed(self, small_fig7):
+        md = render_markdown_report(small_fig7)
+        for line in md.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+
+class TestWrite:
+    def test_writes_file(self, small_fig7, tmp_path):
+        path = write_markdown_report(small_fig7, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Policy comparison")

@@ -1,0 +1,94 @@
+"""Simulation runner: fairness protocol, completeness, registry."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.policies.static import StaticHighPolicy
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", ["read", "maid", "pdc", "static-high", "static-low"])
+    def test_registry_names(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope")
+
+    def test_config_kwargs_forwarded(self):
+        policy = make_policy("read", max_transitions_per_day=7)
+        assert policy.config.max_transitions_per_day == 7
+
+    def test_static_takes_no_config(self):
+        with pytest.raises(ValueError):
+            make_policy("static-high", foo=1)
+
+
+class TestExperimentConfig:
+    def test_generate_deterministic(self):
+        cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+            n_files=50, n_requests=500, seed=1))
+        fs1, t1 = cfg.generate()
+        fs2, t2 = cfg.generate()
+        np.testing.assert_array_equal(t1.file_ids, t2.file_ids)
+        np.testing.assert_array_equal(fs1.sizes_mb, fs2.sizes_mb)
+
+    def test_heavy_variant(self):
+        cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(n_requests=100))
+        heavy = cfg.with_heavy_load(4.0)
+        assert heavy.workload.n_requests == 400
+        assert heavy.disk_params is cfg.disk_params
+
+
+class TestRunSimulation:
+    def test_all_requests_complete(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(1000)
+        result = run_simulation(StaticHighPolicy(), fileset, sub, n_disks=4,
+                                disk_params=params)
+        assert result.n_requests == 1000
+        assert result.duration_s >= sub.duration_s
+        assert result.mean_response_s > 0
+        assert result.p99_response_s >= result.p95_response_s >= result.mean_response_s * 0.5
+
+    def test_deterministic_repeat(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(800)
+        r1 = run_simulation(make_policy("read"), fileset, sub, n_disks=4,
+                            disk_params=params)
+        r2 = run_simulation(make_policy("read"), fileset, sub, n_disks=4,
+                            disk_params=params)
+        assert r1.mean_response_s == r2.mean_response_s
+        assert r1.total_energy_j == r2.total_energy_j
+        assert r1.array_afr_percent == r2.array_afr_percent
+
+    def test_energy_breakdown_sums_to_total(self, small_workload, params):
+        fileset, trace = small_workload
+        result = run_simulation(make_policy("maid"), fileset, trace.head(1000),
+                                n_disks=4, disk_params=params)
+        assert sum(result.energy_breakdown_j.values()) == pytest.approx(
+            result.total_energy_j)
+
+    def test_per_disk_factors_present(self, small_workload, params):
+        fileset, trace = small_workload
+        result = run_simulation(make_policy("pdc"), fileset, trace.head(500),
+                                n_disks=3, disk_params=params)
+        assert len(result.per_disk) == 3
+        assert result.array_afr_percent == pytest.approx(
+            max(f.afr_percent for f in result.per_disk))
+
+    def test_empty_trace_rejected(self, small_workload, params):
+        fileset, trace = small_workload
+        with pytest.raises(ValueError):
+            run_simulation(StaticHighPolicy(), fileset, trace.head(0),
+                           n_disks=2, disk_params=params)
+
+    def test_power_on_energy_floor(self, small_workload, params):
+        """Energy can never be below all-disks-idle-low for the duration."""
+        fileset, trace = small_workload
+        result = run_simulation(make_policy("pdc"), fileset, trace.head(1000),
+                                n_disks=4, disk_params=params)
+        floor = 4 * params.low.idle_w * result.duration_s
+        assert result.total_energy_j >= floor - 1e-6

@@ -1,0 +1,62 @@
+"""Ablation sweeps (small instances; shape-level assertions)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweeps import (
+    sweep_idle_threshold,
+    sweep_integrator_strategies,
+    sweep_read_adaptive_threshold,
+    sweep_read_migration,
+    sweep_read_transition_cap,
+)
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(workload=SyntheticWorkloadConfig(
+        n_files=100, n_requests=4000, seed=5, mean_interarrival_s=0.01))
+
+
+class TestIntegratorSweep:
+    def test_all_strategies_present_and_ordered(self, cfg):
+        out = sweep_integrator_strategies(cfg, n_disks=4)
+        assert set(out) == {"mean_plus_adder", "max_plus_adder", "sum", "weighted"}
+        # SUM dominates MEAN by construction
+        assert out["sum"].array_afr_percent >= out["mean_plus_adder"].array_afr_percent
+        # simulation itself identical across strategies
+        energies = {round(r.total_energy_j, 6) for r in out.values()}
+        assert len(energies) == 1
+
+
+class TestREADSweeps:
+    def test_transition_cap_sweep_keys(self, cfg):
+        out = sweep_read_transition_cap(cfg, caps=(4, 40), n_disks=4)
+        assert set(out) == {4, 40}
+        assert all(r.policy_name == "read" for r in out.values())
+
+    def test_adaptive_threshold_sweep(self, cfg):
+        out = sweep_read_adaptive_threshold(cfg, n_disks=4)
+        assert set(out) == {"adaptive", "fixed"}
+        assert out["adaptive"].policy_detail["adaptive_threshold"] is True
+        assert out["fixed"].policy_detail["adaptive_threshold"] is False
+
+    def test_migration_sweep(self, cfg):
+        out = sweep_read_migration(cfg, n_disks=4)
+        assert set(out) == {"frd_on", "frd_off"}
+        # with FRD disabled there is no migration I/O at all
+        assert out["frd_off"].internal_jobs == 0
+
+
+class TestIdleThresholdSweep:
+    def test_pdc_threshold_sweep(self, cfg):
+        out = sweep_idle_threshold(cfg, thresholds_s=(1.0, 1000.0),
+                                   policy="pdc", n_disks=4)
+        assert set(out) == {1.0, 1000.0}
+        # an unreachable threshold produces no spin-downs at all
+        assert out[1000.0].total_transitions <= out[1.0].total_transitions
+
+    def test_rejects_non_idling_policy(self, cfg):
+        with pytest.raises(ValueError):
+            sweep_idle_threshold(cfg, policy="static-high")

@@ -1,0 +1,112 @@
+"""DRPM watermark controller: hysteresis, decisions, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.disk.array import DiskArray
+from repro.disk.parameters import DiskSpeed
+from repro.experiments.runner import make_policy, run_simulation
+from repro.policies.drpm import DRPMConfig, DRPMPolicy
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+
+
+def bound_drpm(sim, params, fileset, n_disks=4, **cfg):
+    policy = DRPMPolicy(DRPMConfig(**cfg)) if cfg else DRPMPolicy()
+    array = DiskArray(sim, params, n_disks, fileset)
+    policy.bind(sim, array, fileset)
+    policy.initial_layout()
+    return policy, array
+
+
+@pytest.fixture
+def uniform_files():
+    return FileSet(np.full(16, 1.0))
+
+
+class TestConfig:
+    def test_hysteresis_required(self):
+        with pytest.raises(ValueError):
+            DRPMConfig(up_watermark=0.2, down_watermark=0.3)
+        with pytest.raises(ValueError):
+            DRPMConfig(up_watermark=0.2, down_watermark=0.2)
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            DRPMConfig(control_period_s=0.0)
+
+
+class TestController:
+    def test_starts_all_low(self, sim, params, uniform_files):
+        _, array = bound_drpm(sim, params, uniform_files)
+        assert all(d.speed is DiskSpeed.LOW for d in array.drives)
+
+    def test_busy_disk_steps_up_at_control_tick(self, sim, params, uniform_files):
+        policy, array = bound_drpm(sim, params, uniform_files,
+                                   control_period_s=10.0, demand_spin_up=False)
+        target = array.location_of(0)
+        # saturate one disk for the whole window
+        t = 0.0
+        for _ in range(300):
+            policy.route(Request(t, 0, 1.0))
+            t += 0.03
+        sim.run(until=11.0)
+        assert array.drive(target).effective_target_speed is DiskSpeed.HIGH
+        assert policy.control_decisions["up"] >= 1
+        policy.shutdown()
+
+    def test_quiet_disk_steps_down(self, sim, params, uniform_files):
+        policy, array = bound_drpm(sim, params, uniform_files,
+                                   control_period_s=10.0, demand_spin_up=False)
+        array.drive(0).force_speed(DiskSpeed.HIGH)
+        sim.run(until=11.0)
+        assert array.drive(0).effective_target_speed is DiskSpeed.LOW
+        assert policy.control_decisions["down"] >= 1
+        policy.shutdown()
+
+    def test_hysteresis_band_holds(self, sim, params, uniform_files):
+        policy, array = bound_drpm(sim, params, uniform_files,
+                                   control_period_s=10.0,
+                                   up_watermark=0.8, down_watermark=0.01,
+                                   demand_spin_up=False)
+        target = array.location_of(0)
+        # moderate load: ~10% utilization, inside the band
+        t = 0.0
+        for _ in range(20):
+            policy.route(Request(t, 0, 1.0))
+            t += 0.5
+        sim.run(until=11.0)
+        assert array.drive(target).speed is DiskSpeed.LOW  # held
+        policy.shutdown()
+
+    def test_demand_spin_up_rider(self, sim, params, uniform_files):
+        policy, array = bound_drpm(sim, params, uniform_files,
+                                   control_period_s=1e6, demand_spin_up=True)
+        target = array.location_of(0)
+        for _ in range(8):  # exceeds spin_up_queue_len=6
+            policy.route(Request(0.0, 0, 1.0))
+        assert array.drive(target).effective_target_speed is DiskSpeed.HIGH
+        policy.shutdown()
+
+
+class TestEndToEnd:
+    def test_full_run_modulates_speed(self, small_workload, params):
+        fileset, trace = small_workload
+        policy = make_policy("drpm", control_period_s=5.0)
+        result = run_simulation(policy, fileset, trace.head(4000), n_disks=4,
+                                disk_params=params)
+        assert result.policy_name == "drpm"
+        decisions = result.policy_detail["decisions"]
+        assert decisions["up"] + decisions["down"] + decisions["hold"] > 0
+        # DRPM moves no data
+        migration_jobs = result.internal_jobs
+        assert migration_jobs == 0
+
+    def test_saves_energy_vs_static_high_on_light_load(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(3000)
+        drpm = run_simulation(make_policy("drpm", control_period_s=5.0),
+                              fileset, sub, n_disks=4, disk_params=params)
+        static = run_simulation(make_policy("static-high"), fileset, sub,
+                                n_disks=4, disk_params=params)
+        assert drpm.total_energy_j < static.total_energy_j

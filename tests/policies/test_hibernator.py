@@ -1,0 +1,117 @@
+"""Hibernator: coarse-grain model-driven speed setting."""
+
+import numpy as np
+import pytest
+
+from repro.disk.array import DiskArray
+from repro.disk.parameters import DiskSpeed
+from repro.experiments.runner import make_policy, run_simulation
+from repro.policies.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+
+
+def bound_hib(sim, params, fileset, n_disks=4, **cfg):
+    policy = HibernatorPolicy(HibernatorConfig(**cfg)) if cfg else HibernatorPolicy()
+    array = DiskArray(sim, params, n_disks, fileset)
+    policy.bind(sim, array, fileset)
+    policy.initial_layout()
+    return policy, array
+
+
+@pytest.fixture
+def uniform_files():
+    return FileSet(np.full(16, 1.0))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HibernatorConfig(epoch_s=0.0)
+        with pytest.raises(ValueError):
+            HibernatorConfig(response_bound_s=0.0)
+        with pytest.raises(ValueError):
+            HibernatorConfig(utilization_guard=0.0)
+
+
+class TestPrediction:
+    def test_idle_disk_predicts_positioning_only(self, sim, params, uniform_files):
+        policy, array = bound_hib(sim, params, uniform_files)
+        counts = np.zeros(16)
+        response, rho = policy.predicted_low_speed_response_s(0, counts)
+        assert rho == 0.0
+        assert response == pytest.approx(params.low.positioning_s)
+
+    def test_prediction_matches_pk_formula(self, sim, params, uniform_files):
+        from repro.experiments.validation import mg1_prediction
+        policy, array = bound_hib(sim, params, uniform_files, epoch_s=100.0)
+        on_disk = array.files_on(0)
+        counts = np.zeros(16)
+        counts[on_disk] = 50.0  # uniform across this disk's files
+        response, rho = policy.predicted_low_speed_response_s(0, counts)
+        disk_fs = FileSet(policy.fileset.sizes_mb[on_disk])
+        lam = counts[on_disk].sum() / 100.0
+        pred = mg1_prediction(disk_fs, params, speed=DiskSpeed.LOW,
+                              mean_interarrival_s=1.0 / lam)
+        assert response == pytest.approx(pred.mean_response_s)
+        assert rho == pytest.approx(pred.utilization)
+
+    def test_unstable_low_queue_reports_inf(self, sim, params, uniform_files):
+        policy, array = bound_hib(sim, params, uniform_files, epoch_s=10.0)
+        counts = np.zeros(16)
+        counts[array.files_on(0)] = 10_000.0
+        response, rho = policy.predicted_low_speed_response_s(0, counts)
+        assert response == float("inf")
+
+
+class TestEpochControl:
+    def test_starts_low_by_default(self, sim, params, uniform_files):
+        _, array = bound_hib(sim, params, uniform_files)
+        assert all(d.speed is DiskSpeed.LOW for d in array.drives)
+
+    def test_busy_disk_promoted_at_epoch(self, sim, params, uniform_files):
+        policy, array = bound_hib(sim, params, uniform_files, epoch_s=10.0,
+                                  response_bound_s=0.02)
+        target = array.location_of(0)
+        t = 0.0
+        for _ in range(200):  # ~0.8 utilization at low speed
+            policy.route(Request(t, 0, 1.0))
+            t += 0.05
+        sim.run(until=11.0)
+        assert array.drive(target).effective_target_speed is DiskSpeed.HIGH
+        assert policy.epoch_decisions["high"] >= 1
+        policy.shutdown()
+
+    def test_quiet_disks_stay_low(self, sim, params, uniform_files):
+        policy, array = bound_hib(sim, params, uniform_files, epoch_s=10.0)
+        policy.route(Request(0.0, 0, 1.0))  # one lone request
+        sim.run(until=11.0)
+        quiet = [d for d in array.drives if d.disk_id != array.location_of(0)]
+        assert all(d.speed is DiskSpeed.LOW for d in quiet)
+        policy.shutdown()
+
+    def test_at_most_one_transition_per_disk_per_epoch(self, small_workload, params):
+        fileset, trace = small_workload
+        policy = make_policy("hibernator", epoch_s=5.0)
+        result = run_simulation(policy, fileset, trace.head(4000), n_disks=4,
+                                disk_params=params)
+        n_epochs = result.duration_s / 5.0 + 1
+        for f in result.per_disk:
+            total = f.transitions_per_day * result.duration_s / 86400.0
+            assert total <= n_epochs + 1e-6
+
+
+class TestEndToEnd:
+    def test_saves_energy_with_few_transitions(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(4000)
+        hib = run_simulation(make_policy("hibernator", epoch_s=5.0), fileset,
+                             sub, n_disks=4, disk_params=params)
+        static = run_simulation(make_policy("static-high"), fileset, sub,
+                                n_disks=4, disk_params=params)
+        drpm = run_simulation(make_policy("drpm", control_period_s=5.0),
+                              fileset, sub, n_disks=4, disk_params=params)
+        assert hib.total_energy_j < static.total_energy_j
+        # coarse granularity: no more transitions than the fine-grained
+        # controller on the same workload
+        assert hib.total_transitions <= drpm.total_transitions + 4

@@ -1,0 +1,139 @@
+"""PDC: waterfill concentration, bidirectional eviction, epoch churn."""
+
+import numpy as np
+import pytest
+
+from repro.disk.array import DiskArray
+from repro.disk.parameters import DiskSpeed
+from repro.experiments.runner import run_simulation
+from repro.policies.pdc import PDCConfig, PDCPolicy
+from repro.sim.engine import Simulator
+from repro.workload.files import FileSet
+from repro.workload.request import Request
+
+
+def bound_pdc(sim, params, fileset, n_disks=4, **cfg):
+    policy = PDCPolicy(PDCConfig(**cfg)) if cfg else PDCPolicy()
+    array = DiskArray(sim, params, n_disks, fileset)
+    policy.bind(sim, array, fileset)
+    policy.initial_layout()
+    return policy, array
+
+
+@pytest.fixture
+def uniform_files():
+    return FileSet(np.full(20, 1.0))
+
+
+class TestInitialLayout:
+    def test_round_robin_balanced(self, sim, params, uniform_files):
+        _, array = bound_pdc(sim, params, uniform_files)
+        counts = np.bincount(array.placement, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestTargetPlacement:
+    def test_hot_files_concentrate_on_disk_zero(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files, epoch_s=1000.0)
+        counts = np.zeros(20, dtype=np.int64)
+        counts[7] = 500
+        counts[3] = 400
+        assignment = policy.target_placement(counts)
+        assert assignment[7] == 0
+        # modest combined load -> both on the head disk
+        assert assignment[3] == 0
+
+    def test_load_cap_spills_to_next_disk(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files,
+                                  epoch_s=100.0, load_cap=0.5)
+        counts = np.zeros(20, dtype=np.int64)
+        # each file's predicted load ~ count * service / epoch; make two
+        # files that each exceed half the cap so they cannot share a disk
+        service = params.high.service_time_s(1.0)
+        per_file = int(0.4 * 100.0 / service)
+        counts[0] = per_file
+        counts[1] = per_file - 1
+        assignment = policy.target_placement(counts)
+        assert assignment[0] == 0
+        assert assignment[1] == 1
+
+    def test_below_floor_files_stay_put(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files)
+        before = array.placement.copy()
+        counts = np.zeros(20, dtype=np.int64)
+        counts[5] = 1  # a stray access, below the share cut paired w/ min 2
+        assignment = policy.target_placement(counts)
+        np.testing.assert_array_equal(assignment, before)
+
+    def test_cold_files_evicted_from_head(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files, epoch_s=1000.0)
+        counts = np.zeros(20, dtype=np.int64)
+        # file on disk 0 gets hot; other disk-0 residents become squatters
+        head_files = np.flatnonzero(array.placement == 0)
+        counts[head_files[0]] = 100
+        assignment = policy.target_placement(counts)
+        assert assignment[head_files[0]] == 0
+        for fid in head_files[1:]:
+            assert assignment[fid] != 0
+
+    def test_zero_counts_change_nothing(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files)
+        assignment = policy.target_placement(np.zeros(20, dtype=np.int64))
+        np.testing.assert_array_equal(assignment, array.placement)
+
+
+class TestEpochExecution:
+    def test_epoch_migrates_popular_file(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files, epoch_s=50.0)
+        # hammer one file that does not live on disk 0
+        victim = int(np.flatnonzero(array.placement == 2)[0])
+        for i in range(50):
+            policy.route(Request(float(i) * 0.1, victim, 1.0))
+        sim.run(until=60.0)  # crosses one epoch boundary
+        assert array.location_of(victim) == 0
+        assert policy.migrations_performed >= 1
+
+    def test_migration_cap_respected(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files, epoch_s=50.0,
+                                  max_migrations_per_epoch=0)
+        victim = int(np.flatnonzero(array.placement == 2)[0])
+        for i in range(50):
+            policy.route(Request(float(i) * 0.1, victim, 1.0))
+        sim.run(until=60.0)
+        assert policy.migrations_performed == 0
+
+    def test_shutdown_stops_epochs(self, sim, params, uniform_files):
+        policy, _ = bound_pdc(sim, params, uniform_files, epoch_s=10.0)
+        policy.shutdown()
+        sim.run()
+        assert sim.now < 10.0  # no epoch event remained
+
+
+class TestSpeedControl:
+    def test_arrival_on_low_disk_spins_up(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files)
+        target = array.location_of(5)
+        array.drive(target).force_speed(DiskSpeed.LOW)
+        policy.route(Request(0.0, 5, 1.0))
+        assert array.drive(target).effective_target_speed is DiskSpeed.HIGH
+
+    def test_idle_disk_spins_down(self, sim, params, uniform_files):
+        policy, array = bound_pdc(sim, params, uniform_files)
+        policy.on_disk_idle(3)
+        # bounded run: the policy's epoch task keeps the queue non-empty
+        sim.run(until=policy.config.speed.idle_threshold_s + 10.0)
+        assert array.drive(3).speed is DiskSpeed.LOW
+
+
+class TestEndToEnd:
+    def test_full_run_concentrates_load(self, small_workload, params):
+        fileset, trace = small_workload
+        policy = PDCPolicy(PDCConfig(epoch_s=20.0))
+        result = run_simulation(policy, fileset, trace.head(3000), n_disks=5,
+                                disk_params=params)
+        assert result.policy_name == "pdc"
+        assert policy.migrations_performed > 0
+        # head disk serves more than its round-robin share
+        served = [f for f in result.per_disk]
+        utils = [f.utilization_percent for f in served]
+        assert utils[0] == max(utils)

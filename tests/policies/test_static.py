@@ -1,0 +1,51 @@
+"""Static baselines: layout, fixed speed, zero transitions."""
+
+import numpy as np
+import pytest
+
+from repro.disk.parameters import DiskSpeed
+from repro.experiments.runner import run_simulation
+from repro.policies.static import StaticHighPolicy, StaticLowPolicy
+
+
+class TestStaticHigh:
+    def test_runs_all_high_no_transitions(self, small_workload, params):
+        fileset, trace = small_workload
+        result = run_simulation(StaticHighPolicy(), fileset, trace.head(500),
+                                n_disks=4, disk_params=params)
+        assert result.total_transitions == 0
+        assert result.internal_jobs == 0
+        assert result.policy_name == "static-high"
+        # every disk sat at the high-speed steady temperature
+        assert all(f.mean_temperature_c == pytest.approx(50.0) for f in result.per_disk)
+
+    def test_balanced_round_robin_layout(self, sim, params, small_workload):
+        from repro.disk.array import DiskArray
+        fileset, _ = small_workload
+        array = DiskArray(sim, params, 4, fileset)
+        policy = StaticHighPolicy()
+        policy.bind(sim, array, fileset)
+        policy.initial_layout()
+        counts = np.bincount(array.placement, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestStaticLow:
+    def test_all_low_no_transition_cost(self, small_workload, params):
+        fileset, trace = small_workload
+        result = run_simulation(StaticLowPolicy(), fileset, trace.head(500),
+                                n_disks=4, disk_params=params)
+        assert result.total_transitions == 0
+        assert all(f.mean_temperature_c == pytest.approx(40.0) for f in result.per_disk)
+
+    def test_low_is_slower_but_cheaper_than_high(self, small_workload, params):
+        fileset, trace = small_workload
+        sub = trace.head(500)
+        high = run_simulation(StaticHighPolicy(), fileset, sub, n_disks=4,
+                              disk_params=params)
+        low = run_simulation(StaticLowPolicy(), fileset, sub, n_disks=4,
+                             disk_params=params)
+        assert low.mean_response_s > high.mean_response_s
+        assert low.total_energy_j < high.total_energy_j
+        # and the PRESS model rewards the cooler array
+        assert low.array_afr_percent < high.array_afr_percent

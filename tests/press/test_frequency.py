@@ -1,0 +1,94 @@
+"""Frequency-reliability function: Eq. 3 verbatim + the IDEMA doubling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.press.frequency import (
+    EQ3_COEFFICIENTS,
+    FrequencyReliability,
+    frequency_afr_adder_percent,
+    idema_start_stop_adder_percent,
+)
+
+
+class TestEq3Verbatim:
+    def test_coefficients_match_paper(self):
+        assert EQ3_COEFFICIENTS == (1.51e-5, -1.09e-4, 1.39e-4)
+
+    def test_value_at_zero(self):
+        # R(0) = c = 1.39e-4
+        assert frequency_afr_adder_percent(0.0) == pytest.approx(1.39e-4)
+
+    def test_value_at_1600(self):
+        a, b, c = EQ3_COEFFICIENTS
+        expected = a * 1600**2 + b * 1600 + c
+        assert frequency_afr_adder_percent(1600.0) == pytest.approx(expected)
+        assert expected == pytest.approx(38.49, abs=0.05)
+
+    def test_paper_transition_cap_is_cheap(self):
+        # READ's cap S = 40/day sits far below 1% AFR adder
+        assert frequency_afr_adder_percent(40.0) < 0.03
+
+    def test_warranty_bound_65_per_day(self):
+        # the Sec. 3.5 '65 transitions/day' point is still small
+        assert frequency_afr_adder_percent(65.0) < 0.06
+
+
+class TestClampingAndGuards:
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_afr_adder_percent(-1.0)
+
+    def test_quadratic_dip_clamped_at_zero(self):
+        # the raw fit is negative near f ~ 3.6; adder must be >= 0
+        assert frequency_afr_adder_percent(3.6) == 0.0
+
+    def test_beyond_domain_clamps_by_default(self):
+        assert frequency_afr_adder_percent(5000.0) == pytest.approx(
+            frequency_afr_adder_percent(1600.0))
+
+    def test_beyond_domain_raises_when_strict(self):
+        with pytest.raises(ValueError):
+            frequency_afr_adder_percent(1601.0, clip_domain=False)
+
+    @given(st.floats(0.0, 1600.0))
+    @settings(max_examples=200)
+    def test_always_non_negative(self, f):
+        assert frequency_afr_adder_percent(f) >= 0.0
+
+
+class TestIdemaDoubling:
+    def test_fig4a_is_exactly_twice_fig4b(self):
+        freqs = np.linspace(0, 1600, 33)
+        half = np.asarray(frequency_afr_adder_percent(freqs))
+        full = np.asarray(idema_start_stop_adder_percent(freqs))
+        np.testing.assert_allclose(full, 2.0 * half)
+
+    def test_per_month_axis_conversion(self):
+        # 300/month == 10/day under the 30-day convention
+        assert idema_start_stop_adder_percent(300.0, per_month=True) == pytest.approx(
+            idema_start_stop_adder_percent(10.0))
+
+
+class TestWrapperClass:
+    def test_callable_and_curves(self):
+        f = FrequencyReliability()
+        freqs, afrs = f.curve(17)
+        assert freqs[0] == 0.0 and freqs[-1] == 1600.0
+        ifreqs, iafrs = f.idema_curve(17)
+        np.testing.assert_allclose(iafrs, 2 * afrs)
+
+    def test_monotone_beyond_the_dip(self):
+        f = FrequencyReliability()
+        freqs = np.linspace(10, 1600, 100)
+        vals = np.asarray(f(freqs))
+        assert np.all(np.diff(vals) > 0)
+
+    def test_vector_scalar_consistency(self):
+        f = FrequencyReliability()
+        freqs = np.array([0.0, 100.0, 1000.0])
+        out = np.asarray(f(freqs))
+        for q, v in zip(freqs, out):
+            assert v == pytest.approx(f(float(q)))

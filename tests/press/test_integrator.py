@@ -1,0 +1,90 @@
+"""Reliability integrator: combination strategies and the max rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.press.integrator import CombinationStrategy, ReliabilityIntegrator
+
+afr = st.floats(0.0, 50.0)
+
+
+class TestCombination:
+    def test_mean_plus_adder_default(self):
+        integ = ReliabilityIntegrator()
+        assert integ.disk_afr(10.0, 6.0, 1.0) == pytest.approx(9.0)
+
+    def test_sum(self):
+        integ = ReliabilityIntegrator(CombinationStrategy.SUM)
+        assert integ.disk_afr(10.0, 6.0, 1.0) == pytest.approx(17.0)
+
+    def test_max_plus_adder(self):
+        integ = ReliabilityIntegrator(CombinationStrategy.MAX_PLUS_ADDER)
+        assert integ.disk_afr(10.0, 6.0, 1.0) == pytest.approx(11.0)
+
+    def test_weighted(self):
+        integ = ReliabilityIntegrator(CombinationStrategy.WEIGHTED,
+                                      temperature_weight=0.75)
+        assert integ.disk_afr(12.0, 4.0, 1.0) == pytest.approx(0.75 * 12 + 0.25 * 4 + 1)
+
+    def test_weighted_validates_weight(self):
+        with pytest.raises(ValueError):
+            ReliabilityIntegrator(CombinationStrategy.WEIGHTED, temperature_weight=1.5)
+
+    @pytest.mark.parametrize("strategy", list(CombinationStrategy))
+    def test_strategies_ordered_sum_ge_max_ge_mean(self, strategy):
+        integ = ReliabilityIntegrator(strategy)
+        v = integ.disk_afr(10.0, 6.0, 1.0)
+        mean = ReliabilityIntegrator(CombinationStrategy.MEAN_PLUS_ADDER).disk_afr(10.0, 6.0, 1.0)
+        total = ReliabilityIntegrator(CombinationStrategy.SUM).disk_afr(10.0, 6.0, 1.0)
+        assert mean - 1e-12 <= ReliabilityIntegrator(
+            CombinationStrategy.MAX_PLUS_ADDER).disk_afr(10.0, 6.0, 1.0) <= total + 1e-12
+        assert 0 <= v <= total + 1e-12
+
+    @given(afr, afr, afr)
+    @settings(max_examples=200)
+    def test_all_strategies_monotone_in_each_factor(self, t, u, f):
+        bump = 1.0
+        for strategy in CombinationStrategy:
+            integ = ReliabilityIntegrator(strategy)
+            base = integ.disk_afr(t, u, f)
+            assert integ.disk_afr(t + bump, u, f) >= base - 1e-12
+            assert integ.disk_afr(t, u + bump, f) >= base - 1e-12
+            assert integ.disk_afr(t, u, f + bump) >= base - 1e-12
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityIntegrator().disk_afr(-1.0, 6.0, 0.0)
+
+    def test_vectorized_combination(self):
+        integ = ReliabilityIntegrator()
+        t = np.array([10.0, 12.0])
+        out = integ.disk_afr(t, np.array([6.0, 6.0]), np.array([0.0, 1.0]))
+        np.testing.assert_allclose(out, [8.0, 10.0])
+
+
+class TestArrayReduction:
+    def test_array_afr_is_max(self):
+        assert ReliabilityIntegrator.array_afr([8.0, 12.5, 9.0]) == 12.5
+
+    def test_single_disk(self):
+        assert ReliabilityIntegrator.array_afr([7.0]) == 7.0
+
+    def test_generator_input(self):
+        assert ReliabilityIntegrator.array_afr(x for x in (1.0, 3.0, 2.0)) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityIntegrator.array_afr([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityIntegrator.array_afr([5.0, -1.0])
+
+    @given(st.lists(afr, min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_max_rule_properties(self, afrs):
+        result = ReliabilityIntegrator.array_afr(afrs)
+        assert result == max(afrs)
+        assert result >= sum(afrs) / len(afrs)  # never better than average

@@ -1,0 +1,193 @@
+"""Kernel semantics: ordering, cancellation, run bounds, misuse errors."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero_by_default():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.5).now == 5.5
+
+
+def test_infinite_start_time_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(start_time=float("inf"))
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_priority_breaks_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("low_prio"), priority=5)
+    sim.schedule(1.0, lambda: fired.append("high_prio"), priority=-5)
+    sim.run()
+    assert fired == ["high_prio", "low_prio"]
+
+
+def test_same_time_same_priority_is_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(1.0, (lambda k=i: fired.append(k)))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_non_callable_action_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(1.0, "not callable")
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+
+
+def test_double_cancel_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.cancel(handle)
+    sim.cancel(handle)
+    sim.run()
+
+
+def test_cancel_one_of_many():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(1.0, lambda: fired.append("keep"))
+    drop = sim.schedule(1.0, lambda: fired.append("drop"))
+    sim.cancel(drop)
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append(2.0))
+    sim.schedule(5.0, lambda: fired.append(5.0))
+    sim.run(until=2.0)
+    assert fired == [2.0]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [2.0, 5.0]
+    assert sim.now == 10.0  # advanced even though the queue drained at 5
+
+
+def test_run_until_before_now_rejected():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_max_events_bounds_dispatch():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), (lambda k=i: fired.append(k)))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.pending_count == 7
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(first)
+    assert sim.peek_time() == 2.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_actions_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(sim.now)
+        if depth:
+            sim.schedule(1.0, lambda: chain(depth - 1))
+
+    sim.schedule(1.0, lambda: chain(3))
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,58 @@
+"""Property-based kernel tests: ordering and cancellation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(times, min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_dispatch_order_is_sorted_by_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, (lambda t=d: fired.append(t)))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.tuples(times, st.integers(-10, 10)), min_size=1, max_size=100))
+@settings(max_examples=100)
+def test_dispatch_order_respects_time_then_priority(entries):
+    sim = Simulator()
+    fired = []
+    for i, (t, prio) in enumerate(entries):
+        sim.schedule(t, (lambda k=(t, prio, i): fired.append(k)), priority=prio)
+    sim.run()
+    # (time, priority, insertion order) must be non-decreasing
+    assert fired == sorted(fired)
+
+
+@given(st.lists(times, min_size=2, max_size=100), st.data())
+@settings(max_examples=100)
+def test_cancelled_events_never_fire_and_others_all_do(delays, data):
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, (lambda k=i: fired.append(k))) for i, d in enumerate(delays)]
+    to_cancel = data.draw(st.sets(st.integers(0, len(delays) - 1), max_size=len(delays)))
+    for idx in to_cancel:
+        sim.cancel(handles[idx])
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+@given(st.lists(times, min_size=1, max_size=50), times)
+@settings(max_examples=100)
+def test_run_until_partitions_the_event_set(delays, cut):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, (lambda t=d: fired.append(t)))
+    sim.run(until=cut)
+    assert all(t <= cut for t in fired)
+    assert sim.pending_count == sum(1 for d in delays if d > cut)

@@ -1,0 +1,128 @@
+"""CLI smoke-to-depth tests (small workloads so each command is fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--files", "100", "--requests", "2000", "--interarrival-ms", "20"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected_at_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "bogus"])
+
+    def test_all_registry_policies_accepted(self):
+        parser = build_parser()
+        for name in ("read", "maid", "pdc", "drpm", "static-high",
+                     "read-rotate", "striped-static"):
+            args = parser.parse_args(["simulate", "--policy", name])
+            assert args.policy == name
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "4", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "read on 4 disks" in out
+        assert "AFR_%" in out
+
+    def test_per_disk_table(self, capsys):
+        rc = main(["simulate", "--policy", "static-high", "--disks", "3",
+                   "--per-disk", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-disk ESRRA factors" in out
+        assert out.count("50.0") >= 3  # three disks at high steady temp
+
+    def test_heavy_flag(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--heavy", "2", *SMALL])
+        assert rc == 0
+
+
+class TestCompare:
+    def test_two_policy_sweep(self, capsys):
+        rc = main(["compare", "--policies", "read,static-high",
+                   "--disks", "4,6", "--baseline", "read", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "array AFR [%]" in out
+        assert "energy [kJ]" in out
+        assert "mean response [ms]" in out
+        assert "read improvement" in out
+
+
+class TestPress:
+    def test_point_evaluation(self, capsys):
+        rc = main(["press", "--temp", "40", "--util", "30", "--freq", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "= 7.500 %" in out
+
+    def test_surface(self, capsys):
+        rc = main(["press", "--surface", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PRESS AFR % at 50 degC" in out
+        assert "f=1600/d" in out
+
+
+class TestWorthwhile:
+    def test_read_vs_static(self, capsys):
+        rc = main(["worthwhile", "--scheme", "read", "--reference",
+                   "static-high", "--disks", "4", *SMALL])
+        out = capsys.readouterr().out
+        assert "net benefit" in out
+        assert rc in (0, 3)  # verdict-dependent exit code
+
+    def test_exit_code_reflects_verdict(self, capsys):
+        # static-low vs static-high saves energy with a *lower* AFR ->
+        # always worthwhile -> exit 0
+        rc = main(["worthwhile", "--scheme", "static-low", "--reference",
+                   "static-high", "--disks", "4", *SMALL])
+        assert rc == 0
+
+
+class TestReport:
+    def test_report_command_writes_markdown(self, tmp_path, capsys):
+        out_md = tmp_path / "r.md"
+        rc = main(["report", "--out", str(out_md), "--policies",
+                   "read,static-high", "--disks", "4", *SMALL])
+        assert rc == 0
+        assert out_md.exists()
+        assert "Array AFR" in out_md.read_text()
+
+
+class TestTrace:
+    def test_generate_and_info_roundtrip(self, tmp_path, capsys):
+        out_csv = tmp_path / "trace.csv"
+        rc = main(["trace", "generate", "--out", str(out_csv), *SMALL])
+        assert rc == 0
+        assert out_csv.exists()
+        rc = main(["trace", "info", str(out_csv)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests          : 2000" in out
+
+    def test_convert_wc98(self, tmp_path, capsys):
+        from repro.workload.wc98 import WC98Record, write_wc98
+        bin_path = tmp_path / "day.bin"
+        write_wc98([WC98Record(1000 + i, 1, i % 5, 4000, 0, 2, 1, 0)
+                    for i in range(50)], bin_path)
+        out_csv = tmp_path / "day.csv"
+        rc = main(["trace", "convert-wc98", str(bin_path), "--out", str(out_csv)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "decoded 50 records" in out
+        assert out_csv.exists()
+
+    def test_missing_file_is_error_exit(self, capsys):
+        rc = main(["trace", "info", "/nonexistent/trace.csv"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

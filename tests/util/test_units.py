@@ -1,0 +1,56 @@
+"""Unit-conversion sanity: round trips, paper constants, edge values."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(37.5)) == pytest.approx(37.5)
+
+
+def test_paper_kelvin_offset_matches_sec_3_4():
+    # the paper computes T_max = 273.16 + 50 = 323.16
+    assert units.celsius_to_kelvin(50.0) == pytest.approx(323.16)
+
+
+def test_joules_kwh_roundtrip():
+    assert units.kwh_to_joules(units.joules_to_kwh(1.25e7)) == pytest.approx(1.25e7)
+
+
+def test_one_kwh_is_3_6_megajoules():
+    assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+
+
+def test_mb_bytes_roundtrip():
+    assert units.bytes_to_mb(units.mb_to_bytes(123.456)) == pytest.approx(123.456)
+
+
+def test_mb_uses_datasheet_decimal_convention():
+    assert units.mb_to_bytes(1.0) == pytest.approx(1.0e6)
+
+
+def test_per_day_month_roundtrip():
+    assert units.per_month_to_per_day(units.per_day_to_per_month(7.0)) == pytest.approx(7.0)
+
+
+def test_idema_month_is_30_days():
+    # 10 start/stops per day == 300 per month, the Sec. 3.4 convention
+    assert units.per_day_to_per_month(10.0) == pytest.approx(300.0)
+
+
+def test_seconds_per_year_is_julian():
+    assert units.SECONDS_PER_YEAR == pytest.approx(365.25 * 86400.0)
+
+
+def test_zero_passes_through_everywhere():
+    assert units.joules_to_kwh(0.0) == 0.0
+    assert units.mb_to_bytes(0.0) == 0.0
+    assert units.per_day_to_per_month(0.0) == 0.0
+
+
+def test_conversions_are_finite_for_large_inputs():
+    assert math.isfinite(units.kwh_to_joules(1e12))
+    assert math.isfinite(units.celsius_to_kelvin(1e6))

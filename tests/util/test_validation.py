@@ -1,0 +1,63 @@
+"""Validation helpers must reject exactly the bad inputs, loudly."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "never raised")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e-300, 7.0])
+def test_require_positive_accepts(value):
+    assert require_positive(value, "x") == float(value)
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001, float("nan"), float("inf"), None, "3", True])
+def test_require_positive_rejects(value):
+    with pytest.raises(ValueError):
+        require_positive(value, "x")
+
+
+@pytest.mark.parametrize("value", [0, 0.0, 5, 1e9])
+def test_require_non_negative_accepts(value):
+    assert require_non_negative(value, "x") == float(value)
+
+
+@pytest.mark.parametrize("value", [-1e-12, -5, float("nan"), float("-inf"), False])
+def test_require_non_negative_rejects(value):
+    with pytest.raises(ValueError):
+        require_non_negative(value, "x")
+
+
+def test_require_in_range_inclusive_endpoints():
+    assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+    assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+def test_require_in_range_rejects(value):
+    with pytest.raises(ValueError):
+        require_in_range(value, 0.0, 1.0, "x")
+
+
+def test_require_fraction_is_0_1_range():
+    assert require_fraction(0.5, "x") == 0.5
+    with pytest.raises(ValueError):
+        require_fraction(1.5, "x")
+
+
+def test_error_messages_name_the_parameter():
+    with pytest.raises(ValueError, match="spindle_speed"):
+        require_positive(-3, "spindle_speed")

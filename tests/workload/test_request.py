@@ -1,0 +1,58 @@
+"""FileSpec and Request value types."""
+
+import pytest
+
+from repro.workload.request import FileSpec, Request
+
+
+class TestFileSpec:
+    def test_valid(self):
+        spec = FileSpec(3, 1.5)
+        assert spec.file_id == 3
+        assert spec.size_mb == 1.5
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            FileSpec(-1, 1.0)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            FileSpec(0, 0.0)
+
+    def test_frozen(self):
+        spec = FileSpec(0, 1.0)
+        with pytest.raises(AttributeError):
+            spec.size_mb = 2.0
+
+
+class TestRequest:
+    def test_lifecycle(self):
+        req = Request(arrival_time=1.0, file_id=2, size_mb=0.5)
+        assert not req.completed
+        req.service_start = 1.5
+        req.completion_time = 2.0
+        assert req.completed
+        assert req.response_time == pytest.approx(1.0)
+        assert req.waiting_time == pytest.approx(0.5)
+
+    def test_response_time_before_completion_raises(self):
+        req = Request(arrival_time=0.0, file_id=0, size_mb=1.0)
+        with pytest.raises(ValueError):
+            _ = req.response_time
+
+    def test_waiting_time_before_service_raises(self):
+        req = Request(arrival_time=0.0, file_id=0, size_mb=1.0)
+        with pytest.raises(ValueError):
+            _ = req.waiting_time
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=-1.0, file_id=0, size_mb=1.0)
+
+    def test_bad_file_id_rejected(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, file_id=-2, size_mb=1.0)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, file_id=0, size_mb=-1.0)

@@ -1,0 +1,123 @@
+"""Trace container: validation, stats, transforms, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workload.files import FileSet
+from repro.workload.trace import Trace
+
+
+@pytest.fixture
+def simple_trace() -> Trace:
+    return Trace(np.array([0.0, 1.0, 2.0, 2.0, 5.0]),
+                 np.array([0, 1, 0, 2, 1]))
+
+
+class TestConstruction:
+    def test_basic(self, simple_trace):
+        assert len(simple_trace) == 5
+        assert simple_trace.duration_s == 5.0
+
+    def test_empty_trace(self):
+        t = Trace(np.array([]), np.array([], dtype=np.int64))
+        assert len(t) == 0
+        assert t.duration_s == 0.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([1.0, 0.5]), np.array([0, 0]))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([-1.0, 0.0]), np.array([0, 0]))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([0.0]), np.array([-1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([0.0, 1.0]), np.array([0]))
+
+    def test_arrays_are_readonly(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.times_s[0] = 9.0
+
+    def test_defensive_copy_of_inputs(self):
+        times = np.array([0.0, 1.0])
+        t = Trace(times, np.array([0, 1]))
+        times[0] = 99.0
+        assert t.times_s[0] == 0.0
+
+
+class TestAccessCounts:
+    def test_counts(self, simple_trace):
+        counts = simple_trace.access_counts(4)
+        np.testing.assert_array_equal(counts, [2, 2, 1, 0])
+
+    def test_too_small_population_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.access_counts(2)
+
+
+class TestStats:
+    def test_stats_fields(self, simple_trace):
+        s = simple_trace.stats(3)
+        assert s.n_requests == 5
+        assert s.n_files_referenced == 3
+        assert s.duration_s == 5.0
+        assert s.mean_interarrival_s == pytest.approx(1.25)
+        assert 0.0 <= s.theta <= 1.0
+
+    def test_stats_requires_two_requests(self):
+        t = Trace(np.array([1.0]), np.array([0]))
+        with pytest.raises(ValueError):
+            t.stats()
+
+
+class TestTransforms:
+    def test_time_scaled_compresses(self, simple_trace):
+        heavy = simple_trace.time_scaled(0.5)
+        assert heavy.duration_s == 2.5
+        np.testing.assert_array_equal(heavy.file_ids, simple_trace.file_ids)
+
+    def test_time_scaled_rejects_nonpositive(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.time_scaled(0.0)
+
+    def test_head(self, simple_trace):
+        h = simple_trace.head(2)
+        assert len(h) == 2
+        assert h.duration_s == 1.0
+
+    def test_window_rebases_times(self, simple_trace):
+        w = simple_trace.window(1.0, 3.0)
+        np.testing.assert_allclose(w.times_s, [0.0, 1.0, 1.0])
+        np.testing.assert_array_equal(w.file_ids, [1, 0, 2])
+
+    def test_window_empty(self, simple_trace):
+        assert len(simple_trace.window(10.0, 20.0)) == 0
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        simple_trace.to_csv(path)
+        loaded = Trace.from_csv(path)
+        np.testing.assert_allclose(loaded.times_s, simple_trace.times_s)
+        np.testing.assert_array_equal(loaded.file_ids, simple_trace.file_ids)
+
+    def test_csv_header_present(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        simple_trace.to_csv(path)
+        assert path.read_text().splitlines()[0] == "time_s,file_id"
+
+
+class TestRequestsIterator:
+    def test_materializes_sizes(self, simple_trace):
+        fs = FileSet(np.array([1.0, 2.0, 3.0]))
+        reqs = list(simple_trace.requests(fs))
+        assert len(reqs) == 5
+        assert reqs[0].size_mb == 1.0
+        assert reqs[3].size_mb == 3.0
+        assert reqs[4].arrival_time == 5.0

@@ -1,0 +1,129 @@
+"""WorldCup98 binary format: wire layout, roundtrips, trace conversion."""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.workload.wc98 import (
+    RECORD_SIZE,
+    WC98Record,
+    read_wc98,
+    wc98_to_trace,
+    write_wc98,
+)
+
+
+def rec(ts=1000, obj=1, size=5000, method=0, **kw):
+    return WC98Record(timestamp=ts, client_id=kw.get("client_id", 42),
+                      object_id=obj, size=size, method=method,
+                      status=kw.get("status", 2), type=kw.get("type", 1),
+                      server=kw.get("server", 0))
+
+
+class TestWireFormat:
+    def test_record_is_20_bytes(self):
+        assert RECORD_SIZE == 20
+        assert len(rec().pack()) == 20
+
+    def test_big_endian_layout(self):
+        packed = rec(ts=0x01020304, obj=0x0A0B0C0D, size=0x11223344).pack()
+        assert packed[:4] == bytes([1, 2, 3, 4])
+        assert packed[8:12] == bytes([0x0A, 0x0B, 0x0C, 0x0D])
+        assert packed[12:16] == bytes([0x11, 0x22, 0x33, 0x44])
+
+    def test_field_order_matches_spec(self):
+        packed = rec(method=7, status=8, type=9).pack()
+        ts, cid, oid, size, method, status, ftype, server = struct.unpack(">IIIIBBBB", packed)
+        assert (method, status, ftype) == (7, 8, 9)
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        records = [rec(ts=1000 + i, obj=i % 3, size=100 * (i + 1)) for i in range(10)]
+        path = tmp_path / "wc98.bin"
+        assert write_wc98(records, path) == 10
+        loaded = read_wc98(path)
+        assert loaded == records
+
+    def test_stream_roundtrip(self):
+        records = [rec(ts=t) for t in (5, 6, 7)]
+        buf = io.BytesIO()
+        write_wc98(records, buf)
+        buf.seek(0)
+        assert read_wc98(buf) == records
+
+    def test_max_records_cap(self, tmp_path):
+        path = tmp_path / "wc98.bin"
+        write_wc98([rec(ts=t) for t in range(50)], path)
+        assert len(read_wc98(path, max_records=7)) == 7
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(rec().pack()[:13])
+        with pytest.raises(ValueError, match="truncated"):
+            read_wc98(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        assert read_wc98(path) == []
+
+
+class TestTraceConversion:
+    def test_basic_conversion(self):
+        records = [
+            rec(ts=100, obj=7, size=2_000_000),
+            rec(ts=101, obj=9, size=1_000_000),
+            rec(ts=103, obj=7, size=2_000_000),
+        ]
+        fs, trace = wc98_to_trace(records)
+        assert len(fs) == 2
+        assert len(trace) == 3
+        np.testing.assert_allclose(trace.times_s, [0.0, 1.0, 3.0])
+        # dense remap: obj 7 -> 0, obj 9 -> 1 (sorted unique)
+        np.testing.assert_array_equal(trace.file_ids, [0, 1, 0])
+        assert fs.size_of(0) == pytest.approx(2.0)  # bytes -> MB
+
+    def test_max_response_size_wins(self):
+        records = [rec(ts=1, obj=5, size=100_000), rec(ts=2, obj=5, size=900_000)]
+        fs, _ = wc98_to_trace(records)
+        assert fs.size_of(0) == pytest.approx(0.9)
+
+    def test_method_filtering(self):
+        records = [rec(ts=1, obj=1, method=0), rec(ts=2, obj=2, method=3)]
+        fs, trace = wc98_to_trace(records)
+        assert len(trace) == 1
+
+    def test_zero_size_filtered(self):
+        records = [rec(ts=1, obj=1, size=0), rec(ts=2, obj=2, size=10)]
+        _, trace = wc98_to_trace(records)
+        assert len(trace) == 1
+
+    def test_unsorted_input_is_sorted(self):
+        records = [rec(ts=50, obj=1), rec(ts=10, obj=2)]
+        _, trace = wc98_to_trace(records)
+        assert trace.times_s[0] == 0.0
+        assert trace.duration_s == 40.0
+
+    def test_all_filtered_rejected(self):
+        with pytest.raises(ValueError):
+            wc98_to_trace([rec(method=9)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wc98_to_trace([])
+
+    def test_synthetic_day_roundtrip(self, tmp_path):
+        """Write a synthetic 'day' in WC98 format, read it back, simulate-ready."""
+        rng = np.random.default_rng(0)
+        records = [rec(ts=int(t), obj=int(o), size=int(s))
+                   for t, o, s in zip(np.sort(rng.integers(0, 86400, 500)),
+                                      rng.integers(0, 40, 500),
+                                      rng.integers(1000, 500_000, 500))]
+        path = tmp_path / "day.bin"
+        write_wc98(records, path)
+        fs, trace = wc98_to_trace(read_wc98(path))
+        assert len(trace) == 500
+        assert trace.file_ids.max() < len(fs)

@@ -1,0 +1,137 @@
+"""Zipf popularity math: distribution shape, sampling, and the paper's
+skew parameter (DESIGN.md inconsistency 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import (
+    fit_zipf_alpha,
+    measure_access_skew,
+    skew_theta,
+    theta_from_counts,
+    zipf_probabilities,
+    zipf_sample_ranks,
+)
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(1000, 0.8).sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_monotone_decreasing_in_rank(self):
+        p = zipf_probabilities(500, 0.7)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_classic_zipf_ratio(self):
+        p = zipf_probabilities(100, 1.0)
+        assert p[0] / p[1] == pytest.approx(2.0)
+
+    def test_single_file(self):
+        np.testing.assert_allclose(zipf_probabilities(1, 0.9), [1.0])
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 0.5)
+
+
+class TestZipfSampling:
+    def test_deterministic_with_seed(self):
+        a = zipf_sample_ranks(100, 0.8, 1000, seed=3)
+        b = zipf_sample_ranks(100, 0.8, 1000, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ranks_in_range(self):
+        ranks = zipf_sample_ranks(50, 0.9, 10_000, seed=1)
+        assert ranks.min() >= 0
+        assert ranks.max() < 50
+
+    def test_empirical_frequencies_match_probabilities(self):
+        n, alpha = 20, 0.8
+        ranks = zipf_sample_ranks(n, alpha, 200_000, seed=5)
+        empirical = np.bincount(ranks, minlength=n) / ranks.size
+        np.testing.assert_allclose(empirical, zipf_probabilities(n, alpha), atol=0.01)
+
+    def test_zero_samples(self):
+        assert zipf_sample_ranks(10, 0.5, 0).size == 0
+
+
+class TestSkewMeasurement:
+    def test_uniform_counts_give_top_fraction(self):
+        counts = np.ones(100)
+        assert measure_access_skew(counts, 0.2) == pytest.approx(0.2)
+
+    def test_total_concentration(self):
+        counts = np.zeros(100)
+        counts[3] = 50
+        assert measure_access_skew(counts, 0.2) == pytest.approx(1.0)
+
+    def test_zero_counts_give_zero(self):
+        assert measure_access_skew(np.zeros(10), 0.2) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            measure_access_skew(np.array([1.0, -1.0]), 0.2)
+
+
+class TestSkewTheta:
+    def test_80_20_rule(self):
+        # theta = ln(0.8)/ln(0.2) ~ 0.1386
+        assert skew_theta(80.0, 20.0) == pytest.approx(0.13864, abs=1e-4)
+
+    def test_uniform_gives_one(self):
+        assert skew_theta(20.0, 20.0) == pytest.approx(1.0)
+
+    def test_more_skew_gives_smaller_theta(self):
+        assert skew_theta(95.0, 20.0) < skew_theta(70.0, 20.0)
+
+    def test_all_accesses_in_top_gives_zero(self):
+        assert skew_theta(100.0, 20.0) == 0.0
+
+    def test_accesses_below_files_rejected(self):
+        with pytest.raises(ValueError):
+            skew_theta(10.0, 20.0)
+
+    @given(st.floats(1.0, 99.0), st.floats(1.0, 99.0))
+    @settings(max_examples=200)
+    def test_theta_always_in_unit_interval(self, a, b):
+        if a < b:
+            a, b = b, a
+        theta = skew_theta(a, b)
+        assert 0.0 <= theta <= 1.0
+
+
+class TestThetaFromCounts:
+    def test_measured_theta_matches_direct_formula(self):
+        counts = np.zeros(100)
+        counts[:20] = 40.0  # exactly 80% of accesses on top 20% of files
+        counts[20:] = 2.5
+        assert theta_from_counts(counts, 0.2) == pytest.approx(skew_theta(80.0, 20.0), abs=1e-6)
+
+    def test_no_accesses_treated_as_uniform(self):
+        assert theta_from_counts(np.zeros(10)) == 1.0
+
+    def test_zipf_sample_theta_reasonable(self):
+        ranks = zipf_sample_ranks(1000, 0.8, 100_000, seed=2)
+        counts = np.bincount(ranks, minlength=1000)
+        theta = theta_from_counts(counts)
+        assert 0.05 < theta < 0.9
+
+
+class TestFitZipfAlpha:
+    def test_recovers_generating_alpha(self):
+        ranks = zipf_sample_ranks(500, 0.8, 500_000, seed=9)
+        counts = np.bincount(ranks, minlength=500)
+        assert fit_zipf_alpha(counts) == pytest.approx(0.8, abs=0.1)
+
+    def test_uniform_counts_fit_zero(self):
+        assert fit_zipf_alpha(np.full(100, 50.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_two_nonzero(self):
+        with pytest.raises(ValueError):
+            fit_zipf_alpha(np.array([5.0, 0.0, 0.0]))
