@@ -1,0 +1,85 @@
+"""Throughput regression gate over the committed ``BENCH_throughput.json``.
+
+``compare()`` is a pure function over two result dicts so the tier-1
+tests can exercise the gate logic without re-measuring anything;
+``main()`` wires it to the files ``bench_throughput.py`` writes:
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+exits non-zero (and prints why) if the freshest measurement in
+``benchmarks/results/throughput.json`` regressed more than 20% against
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Committed reference numbers (repo root, updated when perf work lands).
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+#: Fresh measurement written by bench_throughput.py.
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "throughput.json"
+
+#: Allowed relative slowdown before the gate fails.
+DEFAULT_THRESHOLD = 0.20
+
+#: metric name -> True if higher is better.
+_METRICS = {
+    "kernel_events_per_sec": True,
+    "sweep8_serial_s": False,
+    "sweep8_jobs4_s": False,
+}
+
+
+def compare(current: dict, baseline: dict, *,
+            threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Return one message per metric that regressed beyond ``threshold``.
+
+    An empty list means the gate passes.  Metrics missing from either
+    dict are skipped (new benches should not fail old baselines and
+    vice versa); non-finite or non-positive baselines are skipped too.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold!r}")
+    problems: list[str] = []
+    for metric, higher_is_better in _METRICS.items():
+        if metric not in current or metric not in baseline:
+            continue
+        cur = float(current[metric])
+        base = float(baseline[metric])
+        if not base > 0.0 or cur != cur or base != base:
+            continue
+        if higher_is_better:
+            loss = (base - cur) / base
+        else:
+            loss = (cur - base) / base
+        if loss > threshold:
+            problems.append(
+                f"{metric}: {cur:g} vs baseline {base:g} "
+                f"({loss * 100.0:.1f}% worse, limit {threshold * 100.0:.0f}%)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    results_path = Path(args[0]) if args else RESULTS_PATH
+    if not results_path.exists():
+        print(f"no results at {results_path}; run "
+              f"PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py first")
+        return 2
+    current = json.loads(results_path.read_text(encoding="utf-8"))
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    problems = compare(current, baseline)
+    if problems:
+        for line in problems:
+            print(f"REGRESSION {line}")
+        return 1
+    print(f"ok: {results_path.name} within {DEFAULT_THRESHOLD * 100.0:.0f}% "
+          f"of {BASELINE_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

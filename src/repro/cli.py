@@ -103,7 +103,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     config = ExperimentConfig(workload=_workload_config(args))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
-    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies)
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
+                              jobs=args.jobs)
 
     x = np.array(fig7.disk_counts, dtype=float)
     print(format_series(x, fig7.series("afr"), x_label="disks",
@@ -179,7 +180,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     config = ExperimentConfig(workload=_workload_config(args))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
-    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies)
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
+                              jobs=args.jobs)
     path = write_markdown_report(fig7, args.out, baseline=args.baseline or None)
     print(f"wrote report -> {path}")
     return 0
@@ -258,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated array sizes")
     p_cmp.add_argument("--baseline", default="read",
                        help="policy to compute improvements for ('' = none)")
+    p_cmp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (1 = in-process serial)")
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -286,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--policies", default="read,maid,pdc,static-high")
     p_rep.add_argument("--disks", default="6,10,16")
     p_rep.add_argument("--baseline", default="read")
+    p_rep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (1 = in-process serial)")
     _add_workload_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
@@ -313,11 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.experiments.parallel import CellExecutionError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, FileNotFoundError) as exc:
+    except (ValueError, FileNotFoundError, CellExecutionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

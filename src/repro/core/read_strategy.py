@@ -162,11 +162,16 @@ class READPolicy(Policy):
     # per-request path (ATM recording + routing)
     # ------------------------------------------------------------------
     def route(self, request: Request) -> None:
-        self._require_bound()
-        assert self._tracker is not None and self._controller is not None
-        self._tracker.record(request.file_id)
-        target = self.array.location_of(request.file_id)
-        self._controller.check_spin_up(target)
+        # once per trace request — locals bound up front, misuse check first
+        tracker = self._tracker
+        controller = self._controller
+        if tracker is None or controller is None:
+            self._require_bound()  # raises PolicyError when unbound
+            raise AssertionError("route() called before initial_layout()")
+        fid = request.file_id
+        tracker.record(fid)
+        target = self.array.location_of(fid)
+        controller.check_spin_up(target)
         self.submit(request, disk_id=target)
 
     def on_disk_idle(self, disk_id: int) -> None:

@@ -59,6 +59,10 @@ class DiskArray:
             for i in range(n_disks)
         ]
         self._placement = np.full(len(fileset), -1, dtype=np.int64)
+        # mirror of _placement as a plain list: location_of runs once per
+        # routed request, and list indexing returns a ready-made int
+        # instead of a numpy scalar needing coercion
+        self._placement_py: list[int] = [-1] * len(fileset)
         self._used_mb = np.zeros(n_disks, dtype=np.float64)
         self._idle_handler: Optional[IdleHandler] = None
         self._busy_handler: Optional[IdleHandler] = None
@@ -85,12 +89,20 @@ class DiskArray:
     # policy hooks
     # ------------------------------------------------------------------
     def set_idle_handler(self, handler: Optional[IdleHandler]) -> None:
-        """Install the policy callback fired when any drive's queue drains."""
+        """Install the policy callback fired when any drive's queue drains.
+
+        The handler is bound onto each drive directly so the (very
+        frequent) idle edge skips a forwarding hop through the array.
+        """
         self._idle_handler = handler
+        for drive in self.drives:
+            drive.on_idle = handler
 
     def set_busy_handler(self, handler: Optional[IdleHandler]) -> None:
         """Install the policy callback fired when an idle drive gets work."""
         self._busy_handler = handler
+        for drive in self.drives:
+            drive.on_busy = handler
 
     def _forward_idle(self, disk_id: int) -> None:
         if self._idle_handler is not None:
@@ -123,7 +135,7 @@ class DiskArray:
 
     def location_of(self, file_id: int) -> int:
         """Disk currently holding ``file_id`` (-1 if unplaced)."""
-        return int(self._placement[file_id])
+        return self._placement_py[file_id]
 
     def files_on(self, disk_id: int) -> np.ndarray:
         """All file ids placed on ``disk_id``."""
@@ -142,6 +154,7 @@ class DiskArray:
         require(self._used_mb[disk_id] + size <= self.params.capacity_mb,
                 f"disk {disk_id} over capacity placing file {file_id}")
         self._placement[file_id] = disk_id
+        self._placement_py[file_id] = disk_id
         self._used_mb[disk_id] += size
 
     def place_all(self, placement: Sequence[int] | np.ndarray) -> None:
@@ -157,6 +170,7 @@ class DiskArray:
         require(bool(np.all(used <= self.params.capacity_mb)),
                 "placement exceeds per-disk capacity")
         self._placement[:] = arr
+        self._placement_py = arr.tolist()
         self._used_mb[:] = used
 
     # ------------------------------------------------------------------
@@ -165,8 +179,9 @@ class DiskArray:
     def submit_request(self, request: Request, *, disk_id: Optional[int] = None,
                        on_complete: Optional[JobHandler] = None) -> Job:
         """Queue a user request on its placed disk (or an explicit target)."""
-        target = self.location_of(request.file_id) if disk_id is None else disk_id
-        require(target >= 0, f"file {request.file_id} is not placed on any disk")
+        target = self._placement_py[request.file_id] if disk_id is None else disk_id
+        if target < 0:
+            raise ValueError(f"file {request.file_id} is not placed on any disk")
         job = Job.for_request(request, on_complete=on_complete)
         self.drives[target].submit(job)
         return job
@@ -202,6 +217,7 @@ class DiskArray:
             return False
 
         self._placement[file_id] = dst_disk
+        self._placement_py[file_id] = dst_disk
         self._used_mb[src] -= size
         self._used_mb[dst_disk] += size
 

@@ -30,6 +30,7 @@ queued work delays that work by the transition time.
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -43,6 +44,8 @@ from repro.util.validation import require_positive
 from repro.workload.request import Request
 
 __all__ = ["DrivePhase", "Job", "TwoSpeedDrive"]
+
+_INF = math.inf
 
 
 class DrivePhase(enum.Enum):
@@ -86,14 +89,28 @@ class Job:
     completion_time: float = field(default=-1.0)
 
     def __post_init__(self) -> None:
-        require_positive(self.size_mb, "size_mb")
+        if not (0.0 < self.size_mb < _INF):
+            require_positive(self.size_mb, "size_mb")
 
     @classmethod
     def for_request(cls, request: Request,
                     on_complete: Optional[Callable[["Job"], None]] = None) -> "Job":
-        """Wrap a user request into a schedulable job."""
-        return cls(size_mb=request.size_mb, internal=False, request=request,
-                   on_complete=on_complete)
+        """Wrap a user request into a schedulable job.
+
+        ``request.size_mb`` was already validated by
+        ``Request.__post_init__``, so this runs the fast direct-slot
+        construction instead of the validating dataclass init (one Job
+        per routed request — it is a hot path).
+        """
+        job = cls.__new__(cls)
+        job.size_mb = request.size_mb
+        job.internal = False
+        job.request = request
+        job.on_complete = on_complete
+        job.enqueue_time = -1.0
+        job.service_start = -1.0
+        job.completion_time = -1.0
+        return job
 
     @classmethod
     def internal_transfer(cls, size_mb: float,
@@ -153,6 +170,21 @@ class TwoSpeedDrive:
         self.thermal = ThermalModel(initial_c=params.mode(initial_speed).steady_temp_c)
         self._last_account_s = sim.now
         self._start_time_s = sim.now
+        self._refresh_speed_cache()
+
+    def _refresh_speed_cache(self) -> None:
+        """Re-derive the per-speed constants the service loop reads per job.
+
+        Called on every ``_speed`` change so :meth:`_dispatch` computes
+        service times from plain floats instead of re-resolving the mode.
+        The arithmetic (``positioning + size / rate``) matches
+        :meth:`SpeedModeParams.service_time_s` term for term, so results
+        are bit-identical.
+        """
+        mode = self.params.mode(self._speed)
+        self._svc_positioning_s = mode.avg_seek_s + mode.avg_rot_latency_s
+        self._svc_transfer_mb_s = mode.transfer_mb_s
+        self._steady_c_at_speed = mode.steady_temp_c
 
     # ------------------------------------------------------------------
     # introspection
@@ -225,16 +257,35 @@ class TwoSpeedDrive:
         if self._phase is DrivePhase.TRANSITIONING:
             assert self._transition_target is not None
             return self.params.mode(self._transition_target).steady_temp_c
-        return self.params.mode(self._speed).steady_temp_c
+        return self._steady_c_at_speed
 
     def _account(self) -> None:
-        """Charge the interval since the last state change to that state."""
+        """Charge the interval since the last state change to that state.
+
+        The state/steady-temperature selection mirrors
+        :meth:`_current_power_state` / :meth:`_steady_temp_c` but is
+        inlined: accounting runs on every dispatch, completion, and
+        transition edge.
+        """
         now = self._sim.now
         dt = now - self._last_account_s
         if dt > 0.0:
-            self.energy.accumulate(self._current_power_state(), dt)
-            self.thermal.advance(dt, self._steady_temp_c())
-        self._last_account_s = now
+            phase = self._phase
+            if phase is DrivePhase.TRANSITIONING:
+                state = DiskPowerState.TRANSITION
+                target = self._transition_target
+                assert target is not None
+                steady_c = self.params.mode(target).steady_temp_c
+            else:
+                high = self._speed is DiskSpeed.HIGH
+                if phase is DrivePhase.BUSY:
+                    state = DiskPowerState.ACTIVE_HIGH if high else DiskPowerState.ACTIVE_LOW
+                else:
+                    state = DiskPowerState.IDLE_HIGH if high else DiskPowerState.IDLE_LOW
+                steady_c = self._steady_c_at_speed
+            self.energy.accumulate(state, dt)
+            self.thermal.advance(dt, steady_c)
+            self._last_account_s = now
 
     def finalize(self) -> None:
         """Flush accounting up to the current simulation time.
@@ -272,6 +323,7 @@ class TwoSpeedDrive:
             raise RuntimeError("force_speed is only valid on an idle, empty drive")
         self._account()
         self._speed = target
+        self._refresh_speed_cache()
         self._pending_target = None
         if self._sim.now == self._start_time_s:
             # pre-traffic configuration: the drive has "always" been at
@@ -318,6 +370,7 @@ class TwoSpeedDrive:
         assert self._transition_target is not None
         self._account()
         self._speed = self._transition_target
+        self._refresh_speed_cache()
         self._transition_target = None
         self._phase = DrivePhase.IDLE
         if self._pending_target is not None and self._pending_target is not self._speed:
@@ -342,19 +395,31 @@ class TwoSpeedDrive:
             if self.on_idle is not None:
                 self.on_idle(self.disk_id)
             return
-        job = self._pick_next()
-        self._account()
+        queue = self._queue
+        if self.queue_discipline is QueueDiscipline.FCFS or len(queue) == 1:
+            job = queue.popleft()
+        else:
+            job = self._pick_next()
+        now = self._sim.now
+        if now != self._last_account_s:  # no-op when chained off _complete
+            self._account()
         self._phase = DrivePhase.BUSY
         self._current = job
-        job.service_start = self._sim.now
-        if job.request is not None:
-            job.request.service_start = self._sim.now
-            job.request.served_by = self.disk_id
-        service_s = self.params.mode(self._speed).service_time_s(job.size_mb)
+        job.service_start = now
+        request = job.request
+        if request is not None:
+            request.service_start = now
+            request.served_by = self.disk_id
+        # inlined SpeedModeParams.service_time_s via the speed cache
+        service_s = self._svc_positioning_s + job.size_mb / self._svc_transfer_mb_s
         self._sim.schedule(service_s, self._complete, priority=self._PRIO_COMPLETE)
 
     def _pick_next(self) -> Job:
-        """Dequeue per the configured discipline (FIFO ties under SJF)."""
+        """Dequeue per the configured discipline (FIFO ties under SJF).
+
+        The FCFS/single-entry shortcut is inlined in :meth:`_dispatch`;
+        this handles the SJF scan.
+        """
         if self.queue_discipline is QueueDiscipline.FCFS or len(self._queue) == 1:
             return self._queue.popleft()
         best = min(range(len(self._queue)), key=lambda i: self._queue[i].size_mb)
@@ -368,9 +433,11 @@ class TwoSpeedDrive:
         self._account()
         self._phase = DrivePhase.IDLE
         self._current = None
-        job.completion_time = self._sim.now
-        if job.request is not None:
-            job.request.completion_time = self._sim.now
+        now = self._sim.now
+        job.completion_time = now
+        request = job.request
+        if request is not None:
+            request.completion_time = now
         self.stats.record_service(job.size_mb, job.internal)
         if job.on_complete is not None:
             job.on_complete(job)

@@ -10,9 +10,12 @@ states == wall clock" an easily testable invariant.
 from __future__ import annotations
 
 import enum
+import math
 
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
 from repro.util.validation import require_non_negative
+
+_INF = math.inf
 
 __all__ = ["DiskPowerState", "EnergyMeter"]
 
@@ -25,6 +28,10 @@ class DiskPowerState(enum.Enum):
     ACTIVE_LOW = "active_low"
     ACTIVE_HIGH = "active_high"
     TRANSITION = "transition"
+
+    # members are singletons, so identity hashing is exact — and it avoids
+    # enum's Python-level __hash__ on the metering path's dict lookups
+    __hash__ = object.__hash__
 
     @staticmethod
     def of(active: bool, speed: DiskSpeed) -> "DiskPowerState":
@@ -55,7 +62,8 @@ class EnergyMeter:
 
     def accumulate(self, state: DiskPowerState, dt: float) -> None:
         """Charge ``dt`` seconds spent in ``state``."""
-        require_non_negative(dt, "dt")
+        if not (dt >= 0.0) or dt == _INF:  # also rejects NaN
+            require_non_negative(dt, "dt")
         self._time_s[state] += dt
         self._energy_j[state] += self._power[state] * dt
 

@@ -14,11 +14,14 @@ in :mod:`repro.core.popularity`; this is the disk-level view).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.util.units import SECONDS_PER_DAY
 from repro.util.validation import require_non_negative, require_positive
+
+_INF = math.inf
 
 __all__ = ["DiskStats"]
 
@@ -38,7 +41,8 @@ class DiskStats:
     # ------------------------------------------------------------------
     def record_service(self, size_mb: float, internal: bool) -> None:
         """Count one completed job of ``size_mb``."""
-        require_positive(size_mb, "size_mb")
+        if not (0.0 < size_mb < _INF):
+            require_positive(size_mb, "size_mb")
         self.mb_served += size_mb
         if internal:
             self.internal_jobs_served += 1
@@ -47,7 +51,8 @@ class DiskStats:
 
     def record_transition(self, at_time_s: float) -> None:
         """Count one speed transition occurring at simulated ``at_time_s``."""
-        require_non_negative(at_time_s, "at_time_s")
+        if not (0.0 <= at_time_s < _INF):
+            require_non_negative(at_time_s, "at_time_s")
         self.speed_transitions_total += 1
         self.transitions_by_day[int(at_time_s // SECONDS_PER_DAY)] += 1
 

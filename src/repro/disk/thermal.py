@@ -32,6 +32,8 @@ __all__ = ["ThermalModel", "steady_temperature_from_rpm"]
 #: Default time constant: 48 min / 4 time constants (see module docstring).
 DEFAULT_TAU_S = 720.0
 
+_exp = math.exp  # bound once; advance() runs on every accounting edge
+
 
 def steady_temperature_from_rpm(rpm: float, *, ambient_c: float = AMBIENT_TEMPERATURE_C) -> float:
     """Steady-state temperature of a drive spinning at ``rpm``.
@@ -84,11 +86,14 @@ class ThermalModel:
 
             int T dt = T_ss * dt + (T0 - T_ss) * tau * (1 - exp(-dt/tau))
         """
-        require_non_negative(dt, "dt")
-        if dt == 0.0:
-            return self._temp_c
+        if not (dt > 0.0):  # False for NaN too
+            if dt == 0.0:
+                return self._temp_c
+            require_non_negative(dt, "dt")  # raises with the precise message
+        elif dt == math.inf:
+            require_non_negative(dt, "dt")
         t0 = self._temp_c
-        decay = math.exp(-dt / self._tau)
+        decay = _exp(-dt / self._tau)
         self._temp_c = steady_c + (t0 - steady_c) * decay
         self._integral_c_s += steady_c * dt + (t0 - steady_c) * self._tau * (1.0 - decay)
         self._elapsed_s += dt

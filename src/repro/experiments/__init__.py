@@ -12,6 +12,7 @@ Entry points:
 """
 
 from repro.experiments.metrics import RequestMetrics, SimulationResult
+from repro.experiments.parallel import CellExecutionError, RunSpec, run_cell, run_cells
 from repro.experiments.runner import ExperimentConfig, run_simulation, make_policy
 from repro.experiments.figures import (
     figure2b_series,
@@ -33,6 +34,10 @@ __all__ = [
     "ExperimentConfig",
     "run_simulation",
     "make_policy",
+    "CellExecutionError",
+    "RunSpec",
+    "run_cell",
+    "run_cells",
     "figure2b_series",
     "figure3b_series",
     "figure4a_series",

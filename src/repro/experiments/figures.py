@@ -14,7 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.experiments.metrics import SimulationResult
-from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.runner import ExperimentConfig
 from repro.press.frequency import FrequencyReliability
 from repro.press.model import PRESSModel
 from repro.press.temperature import TemperatureReliability
@@ -101,23 +102,28 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        disk_counts: Sequence[int] = PAPER_DISK_COUNTS,
                        policies: Sequence[str] = PAPER_POLICIES,
                        press: PRESSModel | None = None,
-                       policy_kwargs: dict[str, dict] | None = None) -> Figure7Results:
+                       policy_kwargs: dict[str, dict] | None = None,
+                       jobs: int = 1) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
     ``policy_kwargs`` maps policy name -> config overrides (used by the
-    ablation benches).  The workload is generated once and shared.
+    ablation benches).  The workload is materialized once (via the
+    content-keyed cache) and shared by every cell.  ``jobs`` fans the
+    cells over a process pool; results are identical for any value.
     """
     cfg = config or ExperimentConfig()
-    fileset, trace = cfg.generate()
     kwargs = policy_kwargs or {}
+    specs = [
+        RunSpec(policy=name, n_disks=n, workload=cfg.workload,
+                policy_kwargs=kwargs.get(name, {}),
+                disk_params=cfg.disk_params, press=press)
+        for name in policies for n in disk_counts
+    ]
+    cells = run_cells(specs, jobs=jobs)
     results: dict[str, tuple[SimulationResult, ...]] = {}
-    for name in policies:
-        runs = []
-        for n in disk_counts:
-            policy = make_policy(name, **kwargs.get(name, {}))
-            runs.append(run_simulation(policy, fileset, trace, n_disks=n,
-                                       disk_params=cfg.disk_params, press=press))
-        results[name] = tuple(runs)
+    per_policy = len(disk_counts)
+    for i, name in enumerate(policies):
+        results[name] = tuple(cells[i * per_policy:(i + 1) * per_policy])
     return Figure7Results(disk_counts=tuple(disk_counts), results=results)
 
 

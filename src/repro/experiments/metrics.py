@@ -10,6 +10,7 @@ end of the run and frozen into a :class:`SimulationResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -28,23 +29,29 @@ class RequestMetrics:
     never carry a ``request``.
     """
 
-    def __init__(self, expected: int) -> None:
+    def __init__(self, expected: int,
+                 on_all_done: "Callable[[], None] | None" = None) -> None:
         require(expected >= 0, f"expected must be >= 0, got {expected}")
         self._expected = expected
         self._response_times = np.empty(expected, dtype=np.float64)
         self._waits = np.empty(expected, dtype=np.float64)
         self._count = 0
+        self._on_all_done = on_all_done
 
     # ------------------------------------------------------------------
     def on_complete(self, job: Job) -> None:
         """Job-completion callback; records user-request response times."""
-        if job.request is None:
-            return
-        require(self._count < self._expected, "more completions than expected requests")
         req = job.request
-        self._response_times[self._count] = req.response_time
-        self._waits[self._count] = req.waiting_time
-        self._count += 1
+        if req is None:
+            return
+        count = self._count
+        if count >= self._expected:
+            raise ValueError("more completions than expected requests")
+        self._response_times[count] = req.completion_time - req.arrival_time
+        self._waits[count] = req.service_start - req.arrival_time
+        self._count = count + 1
+        if count + 1 >= self._expected and self._on_all_done is not None:
+            self._on_all_done()
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,137 @@
+"""Parallel sweep execution: picklable cell specs + a process-pool runner.
+
+A *cell* is one (policy, configuration, array size, workload) simulation
+— the unit the figures and sweeps iterate over.  :class:`RunSpec` captures
+everything a cell needs as plain picklable data, and :func:`run_cells`
+fans a batch of cells over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Design notes
+------------
+* ``jobs=1`` runs in-process with no executor, so the serial path stays
+  trivially debuggable (breakpoints, profilers, exception locals).
+* Results are returned in input order regardless of completion order,
+  and every cell is seeded solely by its spec — parallel and serial
+  execution are bit-identical (asserted by the test suite).
+* Workloads are materialized in the parent *before* the pool forks, so
+  workers inherit the cached arrays copy-on-write instead of each
+  regenerating them (on spawn platforms they fall back to their own
+  on-disk/in-process cache).
+* A worker failure is re-raised in the parent as
+  :class:`CellExecutionError` carrying the failing spec, so a sweep
+  error message names the exact cell instead of a bare traceback from
+  an anonymous subprocess.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.disk.drive import QueueDiscipline
+from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
+from repro.experiments.metrics import SimulationResult
+from repro.experiments.runner import make_policy, run_simulation
+from repro.press.model import PRESSModel
+from repro.util.validation import require
+from repro.workload.cache import cached_generate, workload_key
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+__all__ = ["CellExecutionError", "RunSpec", "run_cell", "run_cells"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell as pure, picklable data.
+
+    Attributes
+    ----------
+    policy:
+        Registry name understood by
+        :func:`repro.experiments.runner.make_policy` (e.g. ``"read"``).
+    policy_kwargs:
+        Keyword arguments forwarded into the policy's config dataclass.
+    n_disks:
+        Array size for this cell.
+    workload:
+        Full workload description; materialized through the content-keyed
+        cache, so identical configs across specs share one generation.
+    disk_params / press:
+        Device model and reliability model (``None`` = module defaults).
+    initial_speed / queue_discipline:
+        Forwarded to :func:`~repro.experiments.runner.run_simulation`.
+    """
+
+    policy: str
+    n_disks: int
+    workload: SyntheticWorkloadConfig
+    policy_kwargs: Mapping[str, object] = field(default_factory=dict)
+    disk_params: Optional[TwoSpeedDiskParams] = None
+    press: Optional[PRESSModel] = None
+    initial_speed: DiskSpeed = DiskSpeed.HIGH
+    queue_discipline: QueueDiscipline = QueueDiscipline.FCFS
+
+    def label(self) -> str:
+        """Compact human-readable cell name for errors and progress."""
+        kwargs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.policy_kwargs.items()))
+        suffix = f" [{kwargs}]" if kwargs else ""
+        return f"{self.policy} x {self.n_disks} disks{suffix}"
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed; carries the spec so sweeps can name the culprit."""
+
+    def __init__(self, spec: RunSpec, cause: BaseException) -> None:
+        super().__init__(f"cell {spec.label()} failed: {cause!r}")
+        self.spec = spec
+        self.cause = cause
+
+
+def run_cell(spec: RunSpec) -> SimulationResult:
+    """Execute one cell in the current process."""
+    fileset, trace = cached_generate(spec.workload)
+    policy = make_policy(spec.policy, **dict(spec.policy_kwargs))
+    return run_simulation(policy, fileset, trace, n_disks=spec.n_disks,
+                          disk_params=spec.disk_params, press=spec.press,
+                          initial_speed=spec.initial_speed,
+                          queue_discipline=spec.queue_discipline)
+
+
+def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResult]:
+    """Execute cells, returning results in input order.
+
+    ``jobs=1`` (default) runs serially in-process; ``jobs>1`` fans out
+    over a process pool.  Both paths produce identical results — specs
+    carry all the state a cell reads, so placement does not matter.
+    """
+    spec_list = list(specs)
+    require(jobs >= 1, f"jobs must be >= 1, got {jobs}")
+    for i, spec in enumerate(spec_list):
+        require(isinstance(spec, RunSpec), f"specs[{i}] is not a RunSpec: {spec!r}")
+
+    if jobs == 1 or len(spec_list) <= 1:
+        results = []
+        for spec in spec_list:
+            try:
+                results.append(run_cell(spec))
+            except Exception as exc:
+                raise CellExecutionError(spec, exc) from exc
+        return results
+
+    # Materialize every distinct workload once in the parent: under the
+    # fork start method the workers then share the arrays copy-on-write.
+    distinct = {workload_key(s.workload): s.workload for s in spec_list}
+    for workload in distinct.values():
+        cached_generate(workload)
+
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=multiprocessing.get_context()) as pool:
+        futures = [pool.submit(run_cell, spec) for spec in spec_list]
+        results = []
+        for spec, future in zip(spec_list, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise CellExecutionError(spec, exc) from exc
+    return results

@@ -18,6 +18,7 @@ and timers cancelled) and any still-queued *internal* work is abandoned
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Callable
 
 from repro.core.extensions import (
@@ -43,10 +44,23 @@ from repro.sim.engine import Simulator
 from repro.util.validation import require
 from repro.workload.files import FileSet
 from repro.workload.request import Request
-from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
+from repro.workload.cache import cached_generate
+from repro.workload.synthetic import SyntheticWorkloadConfig
 from repro.workload.trace import Trace
 
 __all__ = ["ExperimentConfig", "make_policy", "run_simulation"]
+
+
+@lru_cache(maxsize=1)
+def _default_disk_params() -> TwoSpeedDiskParams:
+    """Shared default device model (immutable, so one instance is safe)."""
+    return cheetah_two_speed()
+
+
+@lru_cache(maxsize=1)
+def _default_press() -> PRESSModel:
+    """Shared default PRESS model (stateless between evaluations)."""
+    return PRESSModel()
 
 PolicyFactory = Callable[[], Policy]
 
@@ -106,8 +120,12 @@ class ExperimentConfig:
         return replace(self, workload=self.workload.heavy(compression))
 
     def generate(self) -> tuple[FileSet, Trace]:
-        """Materialize the (deterministic) workload."""
-        return WorldCupLikeWorkload(self.workload).generate()
+        """Materialize the (deterministic) workload.
+
+        Served through the process-wide content-keyed cache, so repeated
+        sweeps over the same config share one materialization.
+        """
+        return cached_generate(self.workload)
 
 
 def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
@@ -122,44 +140,50 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     algorithms are evaluated ... under the same conditions").
     """
     require(len(trace) >= 1, "trace must contain at least one request")
-    params = disk_params or cheetah_two_speed()
-    model = press or PRESSModel()
+    params = disk_params if disk_params is not None else _default_disk_params()
+    model = press if press is not None else _default_press()
 
     sim = Simulator()
     array = DiskArray(sim, params, n_disks, fileset, initial_speed=initial_speed,
                       queue_discipline=queue_discipline)
-    metrics = RequestMetrics(expected=len(trace))
+    metrics = RequestMetrics(expected=len(trace), on_all_done=sim.request_stop)
 
     policy.bind(sim, array, fileset)
     policy.completion_callback = metrics.on_complete
     policy.initial_layout()
 
-    times = trace.times_s
-    ids = trace.file_ids
-    sizes = fileset.sizes_mb
+    # Pre-convert the numpy columns to plain Python lists once: the
+    # dispatch callback runs for every arrival, and list indexing returns
+    # ready-made floats/ints instead of numpy scalars needing coercion.
+    times = trace.times_s.tolist()
+    ids = trace.file_ids.tolist()
+    sizes = fileset.sizes_mb.tolist()
     n = len(trace)
-    cursor = {"i": 0}
+    i = 0
+
+    route = policy.route
+    schedule_at = sim.schedule_at
+    new_request = Request.from_validated
 
     def dispatch_next() -> None:
-        i = cursor["i"]
-        cursor["i"] += 1
-        fid = int(ids[i])
-        policy.route(Request(arrival_time=sim.now, file_id=fid,
-                             size_mb=float(sizes[fid])))
-        nxt = cursor["i"]
-        if nxt < n:
-            sim.schedule_at(float(times[nxt]), dispatch_next, priority=-1)
+        nonlocal i
+        fid = ids[i]
+        route(new_request(sim.now, fid, sizes[fid]))
+        i += 1
+        if i < n:
+            schedule_at(times[i], dispatch_next, priority=-1)
 
-    sim.schedule_at(float(times[0]), dispatch_next, priority=-1)
+    schedule_at(times[0], dispatch_next, priority=-1)
 
-    # Run until every user request has completed.  Policies' periodic
-    # tasks keep the queue non-empty, so completion is the loop's own
-    # stop condition rather than queue exhaustion.
-    while not metrics.all_done:
-        if not sim.step():
-            raise RuntimeError(
-                f"event queue drained with {metrics.completed}/{n} requests done"
-            )
+    # Run until every user request has completed: the metrics object
+    # stops the kernel from inside the last completion callback.
+    # Policies' periodic tasks keep the queue non-empty, so completion —
+    # not queue exhaustion — is the intended stop condition.
+    sim.run_until_drained()
+    if not metrics.all_done:
+        raise RuntimeError(
+            f"event queue drained with {metrics.completed}/{n} requests done"
+        )
 
     duration = sim.now
     policy.shutdown()

@@ -12,10 +12,12 @@ reports how the headline metrics move:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from repro.experiments.metrics import SimulationResult
-from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.experiments.parallel import RunSpec, run_cell
+from repro.experiments.runner import ExperimentConfig, make_policy
 from repro.policies.base import SpeedControlConfig
 from repro.press.integrator import CombinationStrategy
 from repro.press.model import PRESSModel
@@ -32,10 +34,9 @@ __all__ = [
 
 def _run_one(cfg: ExperimentConfig, policy_name: str, n_disks: int,
              press: PRESSModel | None = None, **policy_kwargs) -> SimulationResult:
-    fileset, trace = cfg.generate()
-    policy = make_policy(policy_name, **policy_kwargs)
-    return run_simulation(policy, fileset, trace, n_disks=n_disks,
-                          disk_params=cfg.disk_params, press=press)
+    return run_cell(RunSpec(policy=policy_name, n_disks=n_disks,
+                            workload=cfg.workload, policy_kwargs=policy_kwargs,
+                            disk_params=cfg.disk_params, press=press))
 
 
 def sweep_integrator_strategies(cfg: ExperimentConfig, *, n_disks: int = 10,
@@ -43,12 +44,17 @@ def sweep_integrator_strategies(cfg: ExperimentConfig, *, n_disks: int = 10,
     """Same run scored under every integrator combination strategy.
 
     The simulation itself is strategy-independent (the strategy only
-    affects scoring), so one trace replay is re-scored per strategy.
+    affects scoring), so the trace is replayed exactly once and the
+    frozen per-disk factors are re-scored under each strategy via
+    :meth:`~repro.press.model.PRESSModel.rescore_factors`.
     """
+    base = _run_one(cfg, policy, n_disks)
     out: dict[str, SimulationResult] = {}
     for strategy in CombinationStrategy:
         press = PRESSModel.with_strategy(strategy)
-        out[strategy.value] = _run_one(cfg, policy, n_disks, press=press)
+        afr, factors = press.rescore_factors(base.per_disk)
+        out[strategy.value] = replace(base, array_afr_percent=afr,
+                                      per_disk=tuple(factors))
     return out
 
 

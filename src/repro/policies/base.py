@@ -130,6 +130,9 @@ class SpeedController:
                  budget: Optional[TransitionBudget] = None) -> None:
         self._sim = sim
         self._array = array
+        #: drives indexed by disk id — the idle/busy hooks fire on every
+        #: queue-drain/first-arrival edge, so skip the array.drive() hop
+        self._drives = array.drives
         self.config = config
         self._eligible = eligible
         self._budget = budget
@@ -147,7 +150,7 @@ class SpeedController:
     # ------------------------------------------------------------------
     def on_disk_idle(self, disk_id: int) -> None:
         """Array hook: a drive's queue drained — start its idleness clock."""
-        if self._eligible(disk_id) and self._array.drive(disk_id).speed is DiskSpeed.HIGH:
+        if self._eligible(disk_id) and self._drives[disk_id].speed is DiskSpeed.HIGH:
             self._timers[disk_id].arm()
 
     def on_disk_busy(self, disk_id: int) -> None:
@@ -156,7 +159,7 @@ class SpeedController:
 
     # ------------------------------------------------------------------
     def _idle_expired(self, disk_id: int) -> None:
-        drive = self._array.drive(disk_id)
+        drive = self._drives[disk_id]
         if not drive.is_idle or drive.speed is not DiskSpeed.HIGH:
             return
         if self._budget is not None and not self._budget.spend(disk_id):
@@ -170,7 +173,7 @@ class SpeedController:
         Call *before* submitting the arriving job(s) so the decision uses
         the pre-arrival queue plus ``incoming_jobs``.
         """
-        drive = self._array.drive(disk_id)
+        drive = self._drives[disk_id]
         self._timers[disk_id].cancel()
         if drive.effective_target_speed is DiskSpeed.HIGH:
             return
@@ -252,7 +255,9 @@ class Policy(abc.ABC):
     # ------------------------------------------------------------------
     def submit(self, request: Request, *, disk_id: Optional[int] = None) -> Job:
         """Submit a user request with the runner's metrics callback attached."""
-        array = self._require_bound()
+        array = self.array
+        if array is None:
+            array = self._require_bound()
         return array.submit_request(request, disk_id=disk_id,
                                     on_complete=self.completion_callback)
 

@@ -96,6 +96,8 @@ class MAIDPolicy(Policy):
         self._copying: set[int] = set()
         #: logical MB of copies held per cache disk.
         self._cache_used_mb: Optional[np.ndarray] = None
+        #: cached result of :meth:`_cache_budget_mb` (set at layout time).
+        self._budget_mb: Optional[float] = None
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -131,6 +133,8 @@ class MAIDPolicy(Policy):
         array.place_all(placement)
 
         self._cache_used_mb = np.zeros(self._n_cache, dtype=np.float64)
+        self._budget_mb = None  # recompute below against the new array
+        self._budget_mb = self._cache_budget_mb()
         # cache disks pinned high; passive disks idle down via controller
         self._controller = SpeedController(
             self.sim, array, cfg.speed,
@@ -173,7 +177,14 @@ class MAIDPolicy(Policy):
     # cache management
     # ------------------------------------------------------------------
     def _cache_budget_mb(self) -> float:
-        """Per-cache-disk logical budget: data-relative, capacity-capped."""
+        """Per-cache-disk logical budget: data-relative, capacity-capped.
+
+        Fixed once the policy is laid out (fileset, cache count, and
+        capacity never change mid-run), so the value is computed once in
+        :meth:`initial_layout` and reused on the per-miss path.
+        """
+        if self._budget_mb is not None:
+            return self._budget_mb
         per_disk = (self.config.cache_fraction_of_data * self.fileset.total_mb
                     / max(self._n_cache, 1))
         return min(per_disk, 0.95 * self.array.params.capacity_mb)

@@ -27,9 +27,14 @@ class AccessTracker:
 
     def __init__(self, n_files: int) -> None:
         require(n_files >= 1, f"n_files must be >= 1, got {n_files}")
+        self._n_files = n_files
         self._current = np.zeros(n_files, dtype=np.int64)
         self._previous = np.zeros(n_files, dtype=np.int64)
         self._lifetime = np.zeros(n_files, dtype=np.int64)
+        #: accesses recorded since the last flush — record() is a plain
+        #: list append; counts fold into the vectors in one bincount when
+        #: anything actually reads them (epoch roll, count properties)
+        self._pending: list[int] = []
         self._epochs_completed = 0
 
     @property
@@ -44,8 +49,17 @@ class AccessTracker:
 
     def record(self, file_id: int) -> None:
         """Count one access to ``file_id`` in the current epoch."""
-        self._current[file_id] += 1
-        self._lifetime[file_id] += 1
+        if not 0 <= file_id < self._n_files:
+            raise IndexError(f"file_id out of range: {file_id}")
+        self._pending.append(file_id)
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if pending:
+            delta = np.bincount(pending, minlength=self._n_files)
+            self._current += delta
+            self._lifetime += delta
+            self._pending = []
 
     def roll_epoch(self) -> np.ndarray:
         """Close the current epoch; returns its counts (a copy).
@@ -53,6 +67,7 @@ class AccessTracker:
         The returned array is also retained as :attr:`previous_counts`
         until the next roll.
         """
+        self._flush()
         snapshot = self._current.copy()
         self._previous, self._current = snapshot, self._previous
         self._current[:] = 0
@@ -62,6 +77,7 @@ class AccessTracker:
     @property
     def current_counts(self) -> np.ndarray:
         """Live counts of the in-progress epoch (read-only view)."""
+        self._flush()
         view = self._current.view()
         view.setflags(write=False)
         return view
@@ -76,6 +92,7 @@ class AccessTracker:
     @property
     def lifetime_counts(self) -> np.ndarray:
         """Counts since construction (read-only view)."""
+        self._flush()
         view = self._lifetime.view()
         view.setflags(write=False)
         return view

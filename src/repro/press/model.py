@@ -133,3 +133,35 @@ class PRESSModel:
         factors = [self.factors_of(d, duration_s) for d in array.drives]
         afr = self.integrator.array_afr(f.afr_percent for f in factors)
         return afr, factors
+
+    # ------------------------------------------------------------------
+    # re-scoring (evaluate-only path)
+    # ------------------------------------------------------------------
+    def rescore_factors(self, factors: list[DiskFactors] | tuple[DiskFactors, ...],
+                        ) -> tuple[float, list[DiskFactors]]:
+        """Score already-extracted ESRRA factors under *this* model.
+
+        The simulation determines only the raw factor values (mean
+        temperature, utilization, transition frequency) — scoring them
+        into AFRs is a pure function of the model.  Sweeps over scoring
+        choices (e.g. the integrator combination strategy) therefore
+        need one trace replay, re-scored per model, instead of one
+        replay per model.  Returns ``(array_afr, new_factors)`` with each
+        disk's ``afr_percent`` recomputed; the raw factor fields are
+        copied through unchanged.
+        """
+        require(len(factors) >= 1, "need factors for at least one disk")
+        rescored = [
+            DiskFactors(
+                disk_id=f.disk_id,
+                mean_temperature_c=f.mean_temperature_c,
+                utilization_percent=f.utilization_percent,
+                transitions_per_day=f.transitions_per_day,
+                afr_percent=self.disk_afr(f.mean_temperature_c,
+                                          f.utilization_percent,
+                                          f.transitions_per_day),
+            )
+            for f in factors
+        ]
+        afr = self.integrator.array_afr(f.afr_percent for f in rescored)
+        return afr, rescored

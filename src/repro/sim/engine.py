@@ -15,6 +15,15 @@ Cancellation is lazy: :meth:`Simulator.cancel` marks the handle and the
 heap pop discards dead entries, which is O(1) per cancel instead of an
 O(n) heap rebuild — idleness timers are cancelled constantly, so this
 matters.
+
+Hot-path layout
+---------------
+The heap stores ``(time, priority, seq, handle)`` tuples rather than the
+handles themselves, so sift comparisons run as C tuple comparisons
+instead of Python ``__lt__`` calls (``seq`` is unique, so the handle
+element is never compared).  A live-event counter makes
+:attr:`Simulator.pending_count` O(1), and :meth:`Simulator.run` takes a
+branch-free drain loop when neither ``until`` nor ``max_events`` is set.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from typing import Callable, Optional
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
 Action = Callable[[], None]
+
+_INF = math.inf
 
 
 class SimulationError(RuntimeError):
@@ -81,10 +92,14 @@ class Simulator:
         if not math.isfinite(start_time):
             raise SimulationError(f"start_time must be finite, got {start_time!r}")
         self._now = float(start_time)
-        self._heap: list[EventHandle] = []
+        # entries are (time, priority, seq, EventHandle); seq is unique so
+        # comparisons never reach the handle
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._seq = 0
+        self._live = 0
         self._events_executed = 0
         self._running = False
+        self._stop = False
 
     # ------------------------------------------------------------------
     # clock
@@ -101,8 +116,8 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # scheduling
@@ -113,50 +128,100 @@ class Simulator:
         ``delay`` must be finite and non-negative; a zero delay fires at
         the current time, after any already-queued events at this time.
         """
-        if not (isinstance(delay, (int, float)) and math.isfinite(delay)) or delay < 0:
+        now = self._now
+        try:
+            time = now + delay
+        except TypeError:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}") from None
+        # one comparison rejects NaN and negative delays; inf needs its own
+        if not (time >= now) or time == _INF:
             raise SimulationError(f"delay must be finite and >= 0, got {delay!r}")
-        return self.schedule_at(self._now + delay, action, priority=priority)
+        # push inlined (schedule is called once or more per simulated event)
+        if not callable(action):
+            raise SimulationError(f"action must be callable, got {action!r}")
+        if type(priority) is not int:
+            priority = int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, priority, seq, action)
+        heapq.heappush(self._heap, (time, priority, seq, handle))
+        self._live += 1
+        return handle
 
     def schedule_at(self, time: float, action: Action, *, priority: int = 0) -> EventHandle:
         """Schedule ``action`` at absolute simulated ``time`` (>= now)."""
-        if not (isinstance(time, (int, float)) and math.isfinite(time)):
+        try:
+            in_future = time >= self._now
+        except TypeError:
+            raise SimulationError(f"event time must be finite, got {time!r}") from None
+        if not in_future:
+            if isinstance(time, (int, float)) and math.isfinite(time):
+                raise SimulationError(
+                    f"cannot schedule into the past: event time {time} < now {self._now}"
+                )
             raise SimulationError(f"event time must be finite, got {time!r}")
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule into the past: event time {time} < now {self._now}"
-            )
+        if time == _INF:
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if type(time) is not float:
+            time = float(time)
+        # push inlined (same body as in schedule)
         if not callable(action):
             raise SimulationError(f"action must be callable, got {action!r}")
-        handle = EventHandle(float(time), int(priority), self._seq, action)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        if type(priority) is not int:
+            priority = int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, priority, seq, action)
+        heapq.heappush(self._heap, (time, priority, seq, handle))
+        self._live += 1
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event.  Cancelling twice (or after it fired) is a no-op."""
+        if handle.cancelled:
+            return
         handle.cancelled = True
-        handle.action = None  # break reference cycles early
+        if handle.action is not None:  # still queued (fired handles are action-less)
+            handle.action = None  # break reference cycles early
+            self._live -= 1
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the running loop to return after the current action.
+
+        Intended to be called from *inside* an event action (e.g. a
+        metrics callback that has seen the last completion); a no-op when
+        no loop is running.
+        """
+        self._stop = True
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        self._drop_dead()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].action is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns ``False`` when drained."""
-        self._drop_dead()
-        if not self._heap:
-            return False
-        handle = heapq.heappop(self._heap)
-        self._now = handle.time
-        action, handle.action = handle.action, None
-        self._events_executed += 1
-        assert action is not None  # guaranteed live by _drop_dead
-        action()
-        return True
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            handle = entry[3]
+            action = handle.action
+            if action is None:  # lazily-cancelled entry
+                continue
+            handle.action = None
+            self._now = entry[0]
+            self._live -= 1
+            self._events_executed += 1
+            action()
+            return True
+        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -164,7 +229,8 @@ class Simulator:
         ``until`` is inclusive: events scheduled exactly at ``until``
         execute, and the clock is advanced to ``until`` on return even if
         the queue drained earlier (so post-run accounting covers the full
-        horizon).
+        horizon).  An action may call :meth:`request_stop` to end the run
+        early.
         """
         if self._running:
             raise SimulationError("run() re-entered from inside an event action")
@@ -174,25 +240,67 @@ class Simulator:
             raise SimulationError(f"max_events must be >= 0, got {max_events!r}")
 
         self._running = True
-        dispatched = 0
+        self._stop = False
         try:
-            while True:
-                if max_events is not None and dispatched >= max_events:
-                    break
-                self._drop_dead()
-                if not self._heap:
-                    break
-                if until is not None and self._heap[0].time > until:
-                    break
-                self.step()
-                dispatched += 1
+            if until is None and max_events is None:
+                self._drain()
+            else:
+                self._run_bounded(until, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
 
+    def run_until_drained(self) -> None:
+        """Drain the queue on the fast path (no ``until``/``max_events``
+        bookkeeping per event).  Equivalent to :meth:`run` with no bounds;
+        honors :meth:`request_stop`.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from inside an event action")
+        self._running = True
+        self._stop = False
+        try:
+            self._drain()
+        finally:
+            self._running = False
+
     # ------------------------------------------------------------------
-    def _drop_dead(self) -> None:
+    def _drain(self) -> None:
+        # The kernel's hottest loop: everything pre-bound, no bound checks.
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        pop = heapq.heappop
+        while heap and not self._stop:
+            entry = pop(heap)
+            handle = entry[3]
+            action = handle.action
+            if action is None:
+                continue
+            handle.action = None
+            self._now = entry[0]
+            self._live -= 1
+            self._events_executed += 1
+            action()
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        while heap and not self._stop:
+            if max_events is not None and dispatched >= max_events:
+                break
+            head = heap[0]
+            if head[3].action is None:
+                pop(heap)
+                continue
+            if until is not None and head[0] > until:
+                break
+            pop(heap)
+            handle = head[3]
+            action = handle.action
+            handle.action = None
+            self._now = head[0]
+            self._live -= 1
+            self._events_executed += 1
+            action()
+            dispatched += 1

@@ -23,6 +23,9 @@ def _is_finite_number(value: Any) -> bool:
 
 def require_positive(value: float, name: str) -> float:
     """Validate that ``value`` is a finite number strictly greater than zero."""
+    # fast path for the overwhelmingly common case (plain float, hot loops)
+    if value.__class__ is float and 0.0 < value < math.inf:
+        return value
     if not _is_finite_number(value) or value <= 0:
         raise ValueError(f"{name} must be a finite number > 0, got {value!r}")
     return float(value)
@@ -30,6 +33,8 @@ def require_positive(value: float, name: str) -> float:
 
 def require_non_negative(value: float, name: str) -> float:
     """Validate that ``value`` is a finite number greater than or equal to zero."""
+    if value.__class__ is float and 0.0 <= value < math.inf:
+        return value
     if not _is_finite_number(value) or value < 0:
         raise ValueError(f"{name} must be a finite number >= 0, got {value!r}")
     return float(value)

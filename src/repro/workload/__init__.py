@@ -30,6 +30,12 @@ from repro.workload.arrival import (
 )
 from repro.workload.trace import Trace, TraceStats
 from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
+from repro.workload.cache import (
+    WorkloadCache,
+    cached_generate,
+    default_cache,
+    workload_key,
+)
 from repro.workload.wc98 import WC98Record, read_wc98, write_wc98, wc98_to_trace
 from repro.workload.analysis import (
     TraceAnalysis,
@@ -59,6 +65,10 @@ __all__ = [
     "TraceStats",
     "SyntheticWorkloadConfig",
     "WorldCupLikeWorkload",
+    "WorkloadCache",
+    "cached_generate",
+    "default_cache",
+    "workload_key",
     "WC98Record",
     "read_wc98",
     "write_wc98",

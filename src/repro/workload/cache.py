@@ -1,0 +1,171 @@
+"""Content-keyed memoization of synthetic workload generation.
+
+Sweeps evaluate many (policy, array size) cells against the *same*
+workload — the paper's fairness protocol (Sec. 3.5) even requires it —
+yet each cell historically regenerated the trace from scratch.  This
+module keys a generated ``(FileSet, Trace)`` pair by a digest of the
+full :class:`~repro.workload.synthetic.SyntheticWorkloadConfig` content,
+so any two configs with equal parameters share one materialization:
+
+* an in-process LRU holds the most recent ``max_entries`` workloads
+  (both arrays are immutable — ``setflags(write=False)`` — so sharing
+  one instance across simulation runs is safe);
+* optionally, a directory of ``.npz`` files persists workloads across
+  processes; point ``REPRO_WORKLOAD_CACHE`` at a directory (or pass
+  ``disk_dir``) to enable it.  Writes are atomic (tmp file + rename) so
+  concurrent sweep workers can share one store.
+
+The digest covers every config field, including ``size_kwargs``, so a
+changed parameter can never alias a stale workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+from repro.workload.files import FileSet
+from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
+from repro.workload.trace import Trace
+
+__all__ = ["WorkloadCache", "cached_generate", "default_cache", "workload_key"]
+
+#: Environment variable naming the on-disk store directory (optional).
+CACHE_DIR_ENV = "REPRO_WORKLOAD_CACHE"
+
+#: Default number of workloads kept in memory.  Workloads at paper scale
+#: are tens of MB; sweeps touch one or two distinct configs at a time.
+DEFAULT_MAX_ENTRIES = 8
+
+
+def workload_key(config: SyntheticWorkloadConfig) -> str:
+    """Stable content digest of a workload config (sha256 hex).
+
+    Equal parameter values — not object identity — produce equal keys.
+    """
+    payload = asdict(config)
+    # dicts compare by content but iterate in insertion order; normalize
+    payload["size_kwargs"] = sorted(payload["size_kwargs"].items())
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class WorkloadCache:
+    """LRU of generated workloads with an optional on-disk ``.npz`` store."""
+
+    def __init__(self, *, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 disk_dir: str | os.PathLike | None = None) -> None:
+        require(max_entries >= 1, f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._dir: Optional[Path] = Path(disk_dir) if disk_dir is not None else None
+        self._lru: "OrderedDict[str, Tuple[FileSet, Trace]]" = OrderedDict()
+        self.hits = 0        #: in-memory hits
+        self.disk_hits = 0   #: misses served from the on-disk store
+        self.misses = 0      #: full regenerations
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        """On-disk store location (``None`` when memory-only)."""
+        return self._dir
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (the disk store is left alone)."""
+        self._lru.clear()
+
+    # ------------------------------------------------------------------
+    def get_or_generate(self, config: SyntheticWorkloadConfig) -> Tuple[FileSet, Trace]:
+        """Return the workload for ``config``, generating at most once."""
+        key = workload_key(config)
+        pair = self._lru.get(key)
+        if pair is not None:
+            self.hits += 1
+            self._lru.move_to_end(key)
+            return pair
+        if self._dir is not None:
+            pair = self._disk_load(key)
+            if pair is not None:
+                self.disk_hits += 1
+                self._remember(key, pair)
+                return pair
+        self.misses += 1
+        pair = WorldCupLikeWorkload(config).generate()
+        self._remember(key, pair)
+        if self._dir is not None:
+            self._disk_save(key, pair)
+        return pair
+
+    def _remember(self, key: str, pair: Tuple[FileSet, Trace]) -> None:
+        self._lru[key] = pair
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # on-disk store
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"workload-{key}.npz"
+
+    def _disk_load(self, key: str) -> Optional[Tuple[FileSet, Trace]]:
+        path = self._path(key)
+        try:
+            with np.load(path) as data:
+                fileset = FileSet(data["sizes_mb"])
+                trace = Trace(data["times_s"], data["file_ids"])
+        except (OSError, KeyError, ValueError):
+            return None  # missing or corrupt entry -> regenerate
+        return fileset, trace
+
+    def _disk_save(self, key: str, pair: Tuple[FileSet, Trace]) -> None:
+        assert self._dir is not None
+        fileset, trace = pair
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            # atomic publish: concurrent workers may race on the same key
+            fd, tmp_name = tempfile.mkstemp(dir=self._dir, suffix=".npz.tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, sizes_mb=fileset.sizes_mb,
+                             times_s=trace.times_s, file_ids=trace.file_ids)
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a read-only or full store must never fail the run
+
+
+# ----------------------------------------------------------------------
+# process-wide default
+# ----------------------------------------------------------------------
+_default: Optional[WorkloadCache] = None
+
+
+def default_cache() -> WorkloadCache:
+    """The process-wide cache, honoring ``REPRO_WORKLOAD_CACHE``."""
+    global _default
+    if _default is None:
+        _default = WorkloadCache(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
+    return _default
+
+
+def cached_generate(config: SyntheticWorkloadConfig) -> Tuple[FileSet, Trace]:
+    """Generate (or reuse) the workload for ``config`` via the default cache."""
+    return default_cache().get_or_generate(config)

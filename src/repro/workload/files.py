@@ -91,6 +91,7 @@ class FileSet:
                 "all file sizes must be finite and > 0")
         self._sizes = arr.copy()
         self._sizes.setflags(write=False)
+        self._total_mb = float(self._sizes.sum())
 
     # ------------------------------------------------------------------
     @classmethod
@@ -127,7 +128,7 @@ class FileSet:
     @property
     def total_mb(self) -> float:
         """Total stored bytes across all files, in MB."""
-        return float(self._sizes.sum())
+        return self._total_mb
 
     @property
     def mean_mb(self) -> float:

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.util.validation import require_non_negative, require_positive
+
+_INF = math.inf
 
 __all__ = ["FileSpec", "Request"]
 
@@ -55,10 +58,32 @@ class Request:
     completion_time: float = field(default=-1.0)
 
     def __post_init__(self) -> None:
-        require_non_negative(self.arrival_time, "arrival_time")
+        # constructed once per trace request — validate with plain
+        # comparisons (the ``not (...)`` forms also reject NaN)
+        if not (0.0 <= self.arrival_time < _INF):
+            require_non_negative(self.arrival_time, "arrival_time")
         if self.file_id < 0:
             raise ValueError(f"file_id must be >= 0, got {self.file_id}")
-        require_positive(self.size_mb, "size_mb")
+        if not (0.0 < self.size_mb < _INF):
+            require_positive(self.size_mb, "size_mb")
+
+    @classmethod
+    def from_validated(cls, arrival_time: float, file_id: int, size_mb: float) -> "Request":
+        """Fast constructor for already-validated inputs.
+
+        The experiment runner materializes one Request per trace row;
+        arrival times come from a validated :class:`~repro.workload.trace.Trace`
+        and sizes from a validated :class:`~repro.workload.files.FileSet`,
+        so this skips the dataclass init + ``__post_init__`` re-checks.
+        """
+        req = cls.__new__(cls)
+        req.arrival_time = arrival_time
+        req.file_id = file_id
+        req.size_mb = size_mb
+        req.served_by = -1
+        req.service_start = -1.0
+        req.completion_time = -1.0
+        return req
 
     @property
     def completed(self) -> bool:

@@ -29,6 +29,36 @@ class TestIntegratorSweep:
         energies = {round(r.total_energy_j, 6) for r in out.values()}
         assert len(energies) == 1
 
+    def test_runs_exactly_one_simulation(self, cfg, monkeypatch):
+        """The strategies only re-score; the trace must replay once."""
+        import repro.experiments.sweeps as sweeps
+
+        calls = []
+        real_run_cell = sweeps.run_cell
+
+        def counting_run_cell(spec):
+            calls.append(spec)
+            return real_run_cell(spec)
+
+        monkeypatch.setattr(sweeps, "run_cell", counting_run_cell)
+        out = sweep_integrator_strategies(cfg, n_disks=4)
+        assert len(calls) == 1
+        assert len(out) == len(set(out)) == 4
+
+    def test_rescoring_matches_full_reruns(self, cfg):
+        """Re-scored AFRs equal what a per-strategy re-run would produce."""
+        from repro.press.integrator import CombinationStrategy
+        from repro.press.model import PRESSModel
+
+        out = sweep_integrator_strategies(cfg, n_disks=4)
+        for strategy in CombinationStrategy:
+            press = PRESSModel.with_strategy(strategy)
+            result = out[strategy.value]
+            afr, factors = press.rescore_factors(result.per_disk)
+            assert result.array_afr_percent == pytest.approx(afr)
+            for have, want in zip(result.per_disk, factors):
+                assert have == want
+
 
 class TestREADSweeps:
     def test_transition_cap_sweep_keys(self, cfg):

@@ -87,4 +87,6 @@ class TestArrayReduction:
     def test_max_rule_properties(self, afrs):
         result = ReliabilityIntegrator.array_afr(afrs)
         assert result == max(afrs)
-        assert result >= sum(afrs) / len(afrs)  # never better than average
+        # never better than average (tolerance: sum/len can round above
+        # the true mean when the values are nearly equal)
+        assert result >= sum(afrs) / len(afrs) - 1e-9

@@ -191,3 +191,73 @@ def test_actions_can_schedule_more_events():
     sim.schedule(1.0, lambda: chain(3))
     sim.run()
     assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_run_until_drained_matches_unbounded_run():
+    def build():
+        s = Simulator()
+        fired = []
+        s.schedule(2.0, lambda: fired.append((s.now, "b")))
+        s.schedule(1.0, lambda: fired.append((s.now, "a")))
+        s.schedule(1.0, lambda: s.schedule(0.5, lambda: fired.append((s.now, "c"))))
+        return s, fired
+
+    ref_sim, ref_fired = build()
+    ref_sim.run()
+    sim, fired = build()
+    sim.run_until_drained()
+    assert fired == ref_fired
+    assert sim.now == ref_sim.now
+    assert sim.events_executed == ref_sim.events_executed
+
+
+def test_run_until_drained_rejects_reentry():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run_until_drained()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run_until_drained()
+    assert len(errors) == 1
+
+
+def test_request_stop_ends_run_after_current_action():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: (fired.append(2), sim.request_stop()))
+    sim.schedule(3.0, lambda: fired.append(3))
+    sim.run_until_drained()
+    assert fired == [1, 2]
+    assert sim.pending_count == 1  # the 3.0 event is still queued
+    sim.run_until_drained()  # a fresh run clears the stop flag
+    assert fired == [1, 2, 3]
+    assert sim.pending_count == 0
+
+
+def test_request_stop_outside_run_does_not_stick():
+    sim = Simulator()
+    fired = []
+    sim.request_stop()  # no loop running: must not cancel the next run
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+
+
+def test_pending_count_tracks_schedule_fire_cancel():
+    sim = Simulator()
+    assert sim.pending_count == 0
+    handles = [sim.schedule(float(t), lambda: None) for t in range(1, 6)]
+    assert sim.pending_count == 5
+    sim.cancel(handles[0])
+    sim.cancel(handles[0])  # double-cancel must not double-decrement
+    assert sim.pending_count == 4
+    sim.run(max_events=2)
+    assert sim.pending_count == 2
+    sim.run()
+    assert sim.pending_count == 0

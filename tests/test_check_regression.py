@@ -1,0 +1,87 @@
+"""The throughput regression gate (benchmarks/check_regression.py).
+
+``compare()`` is pure, so tier-1 can exercise the gate logic — and
+validate the committed baseline file — without measuring anything.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+BASELINE = {"kernel_events_per_sec": 1_000_000.0,
+            "sweep8_serial_s": 4.0, "sweep8_jobs4_s": 2.0}
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        assert check_regression.compare(dict(BASELINE), BASELINE) == []
+
+    def test_improvements_pass(self):
+        current = {"kernel_events_per_sec": 2_000_000.0,
+                   "sweep8_serial_s": 1.0, "sweep8_jobs4_s": 0.5}
+        assert check_regression.compare(current, BASELINE) == []
+
+    def test_small_regression_within_threshold_passes(self):
+        current = dict(BASELINE, kernel_events_per_sec=850_000.0)  # -15%
+        assert check_regression.compare(current, BASELINE) == []
+
+    def test_events_per_sec_drop_beyond_threshold_fails(self):
+        current = dict(BASELINE, kernel_events_per_sec=700_000.0)  # -30%
+        problems = check_regression.compare(current, BASELINE)
+        assert len(problems) == 1
+        assert "kernel_events_per_sec" in problems[0]
+
+    def test_wall_clock_increase_beyond_threshold_fails(self):
+        current = dict(BASELINE, sweep8_serial_s=5.0)  # +25%
+        problems = check_regression.compare(current, BASELINE)
+        assert len(problems) == 1
+        assert "sweep8_serial_s" in problems[0]
+
+    def test_missing_metrics_are_skipped(self):
+        assert check_regression.compare({}, BASELINE) == []
+        assert check_regression.compare(dict(BASELINE), {}) == []
+
+    def test_custom_threshold(self):
+        current = dict(BASELINE, kernel_events_per_sec=850_000.0)  # -15%
+        problems = check_regression.compare(current, BASELINE, threshold=0.10)
+        assert len(problems) == 1
+
+    def test_rejects_nonsense_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            check_regression.compare(dict(BASELINE), BASELINE, threshold=0.0)
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_well_formed(self):
+        data = json.loads(check_regression.BASELINE_PATH.read_text())
+        assert data["kernel_events_per_sec"] > 0
+        assert data["sweep8_serial_s"] > 0
+        assert data["sweep8_jobs4_s"] > 0
+        # the seed snapshot documents what the perf work bought
+        seed = data["seed"]
+        assert data["kernel_events_per_sec"] >= seed["kernel_events_per_sec"]
+        assert data["sweep8_serial_s"] <= seed["sweep8_serial_s"] / 2.0
+
+    def test_baseline_passes_against_itself(self):
+        data = json.loads(check_regression.BASELINE_PATH.read_text())
+        assert check_regression.compare(data, data) == []
+
+    def test_main_reports_missing_results(self, tmp_path):
+        assert check_regression.main([str(tmp_path / "nope.json")]) == 2
+
+    def test_main_flags_regression(self, tmp_path, capsys):
+        bad = dict(json.loads(check_regression.BASELINE_PATH.read_text()))
+        bad["kernel_events_per_sec"] = bad["kernel_events_per_sec"] * 0.5
+        path = tmp_path / "throughput.json"
+        path.write_text(json.dumps(bad))
+        assert check_regression.main([str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
