@@ -68,6 +68,23 @@ def _policy_names() -> list[str]:
     return sorted(_POLICY_REGISTRY)
 
 
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="enable in-run fault injection: 'on' for defaults, or "
+             "key=value pairs (seed, accel, hazard_refresh_s, "
+             "repair_delay_s, max_retries, retry_backoff_s, "
+             "retry_timeout_s), e.g. 'seed=7,accel=10000'")
+
+
+def _faults_config(args: argparse.Namespace):
+    if args.faults is None:
+        return None
+    from repro.faults import parse_faults_spec
+
+    return parse_faults_spec(args.faults)
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
@@ -79,9 +96,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     fileset, trace = config.generate()
     policy = make_policy(args.policy)
     result = run_simulation(policy, fileset, trace, n_disks=args.disks,
-                            disk_params=config.disk_params)
+                            disk_params=config.disk_params,
+                            faults=_faults_config(args))
 
     print(format_table([result.summary_row()], title=f"{args.policy} on {args.disks} disks"))
+    if result.faults is not None:
+        f = result.faults
+        print()
+        print(f"fault injection: {f.disk_failures} disk failure(s), "
+              f"{f.rebuilds_completed} rebuild(s), availability "
+              f"{100.0 * f.availability:.4f}%")
+        print(f"  requests: {f.requests_failed} failed, {f.requests_retried} "
+              f"retried, {f.requests_redirected} redirected; "
+              f"{f.data_loss_events} data-loss event(s) ({f.files_lost} files)")
+        for disk_id, at_s in f.failure_schedule:
+            print(f"  disk {disk_id} failed at t={at_s:.1f} s")
     if args.per_disk:
         rows = [{
             "disk": f.disk_id,
@@ -104,7 +133,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              jobs=args.jobs)
+                              faults=_faults_config(args), jobs=args.jobs)
 
     x = np.array(fig7.disk_counts, dtype=float)
     print(format_series(x, fig7.series("afr"), x_label="disks",
@@ -115,6 +144,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print()
     print(format_series(x, {k: v * 1e3 for k, v in fig7.series("response").items()},
                         x_label="disks", title="mean response [ms]"))
+    if any(r.faults is not None for runs in fig7.results.values() for r in runs):
+        avail = {name: np.array([100.0 * r.faults.availability for r in runs])
+                 for name, runs in fig7.results.items()}
+        losses = {name: np.array([float(r.faults.data_loss_events) for r in runs],
+                                 dtype=float)
+                  for name, runs in fig7.results.items()}
+        print()
+        print(format_series(x, avail, x_label="disks", title="availability [%]"))
+        print()
+        print(format_series(x, losses, x_label="disks", title="data-loss events"))
     if args.baseline and args.baseline in policies:
         print()
         summary = headline_summary(fig7, baseline=args.baseline)
@@ -181,7 +220,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              jobs=args.jobs)
+                              faults=_faults_config(args), jobs=args.jobs)
     path = write_markdown_report(fig7, args.out, baseline=args.baseline or None)
     print(f"wrote report -> {path}")
     return 0
@@ -250,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--disks", type=int, default=10)
     p_sim.add_argument("--per-disk", action="store_true",
                        help="also print per-disk ESRRA factors")
+    _add_faults_arg(p_sim)
     _add_workload_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -262,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="policy to compute improvements for ('' = none)")
     p_cmp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (1 = in-process serial)")
+    _add_faults_arg(p_cmp)
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -292,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--baseline", default="read")
     p_rep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (1 = in-process serial)")
+    _add_faults_arg(p_rep)
     _add_workload_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 

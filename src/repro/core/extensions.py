@@ -189,6 +189,26 @@ class ReplicatingREADPolicy(READPolicy):
         self.submit(request, disk_id=target)
 
     # ------------------------------------------------------------------
+    # degraded mode (fault injection)
+    # ------------------------------------------------------------------
+    def alternate_targets(self, file_id: int) -> tuple[int, ...]:
+        """A file's replica is a servable alternate to its primary."""
+        replica = self._replicas.get(file_id)
+        return () if replica is None else (replica,)
+
+    def on_disk_failed(self, disk_id: int) -> None:
+        """Replicas on a failed disk are gone; drop the metadata.
+
+        The next epoch's :meth:`_refresh_replicas` re-creates replicas
+        for files that are still hot.
+        """
+        if self._replica_mb is None:
+            return
+        for fid in [f for f, d in self._replicas.items() if d == disk_id]:
+            del self._replicas[fid]
+        self._replica_mb[disk_id] = 0.0
+
+    # ------------------------------------------------------------------
     def _on_epoch(self, tick: int) -> None:
         assert self._tracker is not None
         counts = self._tracker.current_counts.copy()
@@ -217,6 +237,7 @@ class ReplicatingREADPolicy(READPolicy):
             primary = array.location_of(fid)
             size = self.fileset.size_of(fid)
             candidates = [d for d in hot_ids if d != primary and
+                          array.disk_is_up(d) and
                           array.free_mb(d) - self._replica_mb[d] >= size]
             if not candidates:
                 continue

@@ -86,6 +86,26 @@ class DiskArray:
         return self.drives[disk_id]
 
     # ------------------------------------------------------------------
+    # fault lifecycle (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def disk_is_up(self, disk_id: int) -> bool:
+        """Whether ``disk_id`` is in service (not failed)."""
+        return not self.drives[disk_id].is_failed
+
+    def fail_disk(self, disk_id: int) -> list[Job]:
+        """Fail one drive; returns the jobs it dropped (see
+        :meth:`TwoSpeedDrive.fail`).  Placement is untouched — the files
+        are still *assigned* to the dead disk, they just cannot be served
+        from it until the rebuild completes."""
+        return self.drives[disk_id].fail()
+
+    def replace_disk(self, disk_id: int, *,
+                     speed: DiskSpeed = DiskSpeed.HIGH) -> None:
+        """Install a replacement spindle in a failed slot (rebuild I/O is
+        the caller's responsibility — see :class:`repro.faults.FaultInjector`)."""
+        self.drives[disk_id].replace_with_new_spindle(speed=speed)
+
+    # ------------------------------------------------------------------
     # policy hooks
     # ------------------------------------------------------------------
     def set_idle_handler(self, handler: Optional[IdleHandler]) -> None:
@@ -222,8 +242,12 @@ class DiskArray:
         self._used_mb[dst_disk] += size
 
         def _after_read(_job: Job) -> None:
+            if _job.failed:
+                # source died mid-migration (fault injection): the write
+                # leg never happens; placement keeps the logical move
+                return
             def _after_write(_wjob: Job) -> None:
-                if on_done is not None:
+                if on_done is not None and not _wjob.failed:
                     on_done(file_id, src, dst_disk)
             self.submit_internal(dst_disk, size, on_complete=_after_write)
 

@@ -36,10 +36,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.disk.energy import DiskPowerState, EnergyMeter
-from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
+from repro.disk.parameters import AMBIENT_TEMPERATURE_C, DiskSpeed, TwoSpeedDiskParams
 from repro.disk.stats import DiskStats
 from repro.disk.thermal import ThermalModel
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.util.validation import require_positive
 from repro.workload.request import Request
 
@@ -54,6 +54,9 @@ class DrivePhase(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"
     TRANSITIONING = "transitioning"
+    #: The drive has failed and is out of service (fault injection);
+    #: it draws no power, serves nothing, and drops submitted work.
+    FAILED = "failed"
 
 
 class QueueDiscipline(enum.Enum):
@@ -87,6 +90,9 @@ class Job:
     enqueue_time: float = field(default=-1.0)
     service_start: float = field(default=-1.0)
     completion_time: float = field(default=-1.0)
+    #: Set when the serving disk failed before the transfer finished;
+    #: ``on_complete`` still fires so owners can retry or clean up.
+    failed: bool = field(default=False)
 
     def __post_init__(self) -> None:
         if not (0.0 < self.size_mb < _INF):
@@ -110,6 +116,7 @@ class Job:
         job.enqueue_time = -1.0
         job.service_start = -1.0
         job.completion_time = -1.0
+        job.failed = False
         return job
 
     @classmethod
@@ -160,6 +167,10 @@ class TwoSpeedDrive:
         self._pending_target: Optional[DiskSpeed] = None
         self._queue: deque[Job] = deque()
         self._current: Optional[Job] = None
+        # handles to the in-flight completion/transition events, kept so
+        # fault injection can cancel them when the drive dies mid-work
+        self._completion_event: Optional[EventHandle] = None
+        self._transition_event: Optional[EventHandle] = None
 
         self.stats = DiskStats(disk_id)
         self.energy = EnergyMeter(params)
@@ -208,6 +219,11 @@ class TwoSpeedDrive:
     def is_idle(self) -> bool:
         """True when spinning idle with an empty queue."""
         return self._phase is DrivePhase.IDLE
+
+    @property
+    def is_failed(self) -> bool:
+        """True while the drive is failed/out of service (fault injection)."""
+        return self._phase is DrivePhase.FAILED
 
     @property
     def effective_target_speed(self) -> DiskSpeed:
@@ -271,6 +287,11 @@ class TwoSpeedDrive:
         dt = now - self._last_account_s
         if dt > 0.0:
             phase = self._phase
+            if phase is DrivePhase.FAILED:
+                # a dead spindle draws no power; it cools toward ambient
+                self.thermal.advance(dt, AMBIENT_TEMPERATURE_C)
+                self._last_account_s = now
+                return
             if phase is DrivePhase.TRANSITIONING:
                 state = DiskPowerState.TRANSITION
                 target = self._transition_target
@@ -299,13 +320,26 @@ class TwoSpeedDrive:
     # work submission
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> None:
-        """Enqueue a job; service starts immediately if the drive is idle."""
+        """Enqueue a job; service starts immediately if the drive is idle.
+
+        Submitting to a failed drive fails the job synchronously (its
+        ``on_complete`` fires with ``job.failed`` set) instead of queueing
+        work that could never be served.
+        """
         job.enqueue_time = self._sim.now
-        self._queue.append(job)
-        if self._phase is DrivePhase.IDLE:
+        phase = self._phase
+        if phase is DrivePhase.IDLE:
+            self._queue.append(job)
             if self.on_busy is not None:
                 self.on_busy(self.disk_id)
             self._dispatch()
+            return
+        if phase is DrivePhase.FAILED:
+            job.failed = True
+            if job.on_complete is not None:
+                job.on_complete(job)
+            return
+        self._queue.append(job)
 
     # ------------------------------------------------------------------
     # speed control
@@ -335,9 +369,11 @@ class TwoSpeedDrive:
 
         Returns ``True`` if a transition was started or newly deferred,
         ``False`` if it was a no-op (already there / already heading
-        there).  The caller (policy) is responsible for any transition
-        budget checks *before* calling.
+        there, or the drive is failed).  The caller (policy) is
+        responsible for any transition budget checks *before* calling.
         """
+        if self._phase is DrivePhase.FAILED:
+            return False
         if self._phase is DrivePhase.TRANSITIONING:
             if self._transition_target is target:
                 self._pending_target = None
@@ -363,11 +399,13 @@ class TwoSpeedDrive:
         self._transition_target = target
         self._pending_target = None
         self.stats.record_transition(self._sim.now)
-        self._sim.schedule(self.params.transition_time_s, self._end_transition,
-                           priority=self._PRIO_TRANSITION)
+        self._transition_event = self._sim.schedule(
+            self.params.transition_time_s, self._end_transition,
+            priority=self._PRIO_TRANSITION)
 
     def _end_transition(self) -> None:
         assert self._transition_target is not None
+        self._transition_event = None
         self._account()
         self._speed = self._transition_target
         self._refresh_speed_cache()
@@ -379,6 +417,60 @@ class TwoSpeedDrive:
             return
         self._pending_target = None
         self._dispatch()
+
+    # ------------------------------------------------------------------
+    # fault lifecycle (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def fail(self) -> list[Job]:
+        """Take the drive out of service immediately.
+
+        The in-flight transfer (if any) and every queued job are failed:
+        each gets ``job.failed`` set and its ``on_complete`` fired so
+        owners can retry elsewhere or record the loss.  Pending
+        completion/transition events are cancelled; any deferred speed
+        request is dropped.  Returns the failed jobs (served-first order).
+        Failing an already-failed drive is a no-op.
+        """
+        if self._phase is DrivePhase.FAILED:
+            return []
+        self._account()
+        dropped: list[Job] = []
+        if self._completion_event is not None:
+            self._sim.cancel(self._completion_event)
+            self._completion_event = None
+        if self._transition_event is not None:
+            self._sim.cancel(self._transition_event)
+            self._transition_event = None
+        if self._current is not None:
+            dropped.append(self._current)
+            self._current = None
+        dropped.extend(self._queue)
+        self._queue.clear()
+        self._phase = DrivePhase.FAILED
+        self._transition_target = None
+        self._pending_target = None
+        for job in dropped:
+            job.failed = True
+            if job.on_complete is not None:
+                job.on_complete(job)
+        return dropped
+
+    def replace_with_new_spindle(self, *, speed: DiskSpeed = DiskSpeed.HIGH) -> None:
+        """Swap in a replacement drive (failed -> idle, empty, at ``speed``).
+
+        Models the operator installing a fresh spindle: the replacement
+        boots directly at ``speed`` (no transition charged — it spun up
+        outside the array, like the t = 0 configuration) and is ready to
+        take the rebuild stream.  Energy/thermal/stats ledgers continue —
+        the slot, not the physical spindle, is the unit the experiment
+        accounts (matching how the array AFR aggregates per slot).
+        """
+        if self._phase is not DrivePhase.FAILED:
+            raise RuntimeError("replace_with_new_spindle requires a failed drive")
+        self._account()
+        self._phase = DrivePhase.IDLE
+        self._speed = speed
+        self._refresh_speed_cache()
 
     # ------------------------------------------------------------------
     # service loop
@@ -412,7 +504,8 @@ class TwoSpeedDrive:
             request.served_by = self.disk_id
         # inlined SpeedModeParams.service_time_s via the speed cache
         service_s = self._svc_positioning_s + job.size_mb / self._svc_transfer_mb_s
-        self._sim.schedule(service_s, self._complete, priority=self._PRIO_COMPLETE)
+        self._completion_event = self._sim.schedule(
+            service_s, self._complete, priority=self._PRIO_COMPLETE)
 
     def _pick_next(self) -> Job:
         """Dequeue per the configured discipline (FIFO ties under SJF).
@@ -430,6 +523,7 @@ class TwoSpeedDrive:
     def _complete(self) -> None:
         job = self._current
         assert job is not None and self._phase is DrivePhase.BUSY
+        self._completion_event = None
         self._account()
         self._phase = DrivePhase.IDLE
         self._current = None

@@ -16,6 +16,7 @@ import numpy as np
 from repro.experiments.metrics import SimulationResult
 from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.runner import ExperimentConfig
+from repro.faults import FaultConfig
 from repro.press.frequency import FrequencyReliability
 from repro.press.model import PRESSModel
 from repro.press.temperature import TemperatureReliability
@@ -103,6 +104,7 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        policies: Sequence[str] = PAPER_POLICIES,
                        press: PRESSModel | None = None,
                        policy_kwargs: dict[str, dict] | None = None,
+                       faults: FaultConfig | None = None,
                        jobs: int = 1) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
@@ -110,13 +112,15 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     ablation benches).  The workload is materialized once (via the
     content-keyed cache) and shared by every cell.  ``jobs`` fans the
     cells over a process pool; results are identical for any value.
+    ``faults`` turns on in-run fault injection for every cell, adding
+    realized-reliability metrics next to the paper's three.
     """
     cfg = config or ExperimentConfig()
     kwargs = policy_kwargs or {}
     specs = [
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=kwargs.get(name, {}),
-                disk_params=cfg.disk_params, press=press)
+                disk_params=cfg.disk_params, press=press, faults=faults)
         for name in policies for n in disk_counts
     ]
     cells = run_cells(specs, jobs=jobs)

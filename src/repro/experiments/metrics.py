@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.disk.drive import Job
+from repro.faults.metrics import FaultSummary
 from repro.press.model import DiskFactors
 from repro.util.validation import require
 
@@ -36,6 +37,7 @@ class RequestMetrics:
         self._response_times = np.empty(expected, dtype=np.float64)
         self._waits = np.empty(expected, dtype=np.float64)
         self._count = 0
+        self._failed = 0
         self._on_all_done = on_all_done
 
     # ------------------------------------------------------------------
@@ -45,24 +47,44 @@ class RequestMetrics:
         if req is None:
             return
         count = self._count
-        if count >= self._expected:
+        if count + self._failed >= self._expected:
             raise ValueError("more completions than expected requests")
         self._response_times[count] = req.completion_time - req.arrival_time
         self._waits[count] = req.service_start - req.arrival_time
         self._count = count + 1
-        if count + 1 >= self._expected and self._on_all_done is not None:
+        if count + 1 + self._failed >= self._expected and self._on_all_done is not None:
+            self._on_all_done()
+
+    def on_failed(self, job: Job) -> None:
+        """A user request was failed permanently (fault injection).
+
+        Failed requests count toward the expected total — the run's stop
+        condition is "every request terminated", not "every request
+        served" — but contribute nothing to the response-time arrays.
+        """
+        if job.request is None:
+            return
+        if self._count + self._failed >= self._expected:
+            raise ValueError("more terminations than expected requests")
+        self._failed += 1
+        if self._count + self._failed >= self._expected and self._on_all_done is not None:
             self._on_all_done()
 
     # ------------------------------------------------------------------
     @property
     def completed(self) -> int:
-        """User requests completed so far."""
+        """User requests completed (served) so far."""
         return self._count
 
     @property
+    def failed(self) -> int:
+        """User requests permanently failed so far."""
+        return self._failed
+
+    @property
     def all_done(self) -> bool:
-        """Whether every expected request has completed."""
-        return self._count >= self._expected
+        """Whether every expected request has terminated (served or failed)."""
+        return self._count + self._failed >= self._expected
 
     @property
     def response_times_s(self) -> np.ndarray:
@@ -104,6 +126,8 @@ class SimulationResult:
     internal_jobs: int
     energy_breakdown_j: dict[str, float] = field(default_factory=dict)
     policy_detail: dict[str, object] = field(default_factory=dict)
+    #: Realized-reliability outcome; ``None`` when fault injection is off.
+    faults: FaultSummary | None = None
 
     @property
     def energy_kwh(self) -> float:
@@ -117,7 +141,7 @@ class SimulationResult:
 
     def summary_row(self) -> dict[str, object]:
         """Flat dict for tabular reporting."""
-        return {
+        row: dict[str, object] = {
             "policy": self.policy_name,
             "disks": self.n_disks,
             "AFR_%": round(self.array_afr_percent, 3),
@@ -126,3 +150,6 @@ class SimulationResult:
             "p95_resp_ms": round(self.p95_response_s * 1e3, 2),
             "transitions": self.total_transitions,
         }
+        if self.faults is not None:
+            row.update(self.faults.summary_row())
+        return row

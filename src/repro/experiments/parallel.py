@@ -33,6 +33,7 @@ from repro.disk.drive import QueueDiscipline
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
 from repro.experiments.metrics import SimulationResult
 from repro.experiments.runner import make_policy, run_simulation
+from repro.faults import FaultConfig
 from repro.press.model import PRESSModel
 from repro.util.validation import require
 from repro.workload.cache import cached_generate, workload_key
@@ -61,6 +62,11 @@ class RunSpec:
         Device model and reliability model (``None`` = module defaults).
     initial_speed / queue_discipline:
         Forwarded to :func:`~repro.experiments.runner.run_simulation`.
+    faults:
+        Fault-injection configuration (``None`` = injection off).  The
+        config is frozen plain data and the resulting
+        :class:`~repro.faults.FaultSummary` is picklable, so fault cells
+        fan out over the process pool like any other.
     """
 
     policy: str
@@ -71,6 +77,7 @@ class RunSpec:
     press: Optional[PRESSModel] = None
     initial_speed: DiskSpeed = DiskSpeed.HIGH
     queue_discipline: QueueDiscipline = QueueDiscipline.FCFS
+    faults: Optional[FaultConfig] = None
 
     def label(self) -> str:
         """Compact human-readable cell name for errors and progress."""
@@ -95,7 +102,8 @@ def run_cell(spec: RunSpec) -> SimulationResult:
     return run_simulation(policy, fileset, trace, n_disks=spec.n_disks,
                           disk_params=spec.disk_params, press=spec.press,
                           initial_speed=spec.initial_speed,
-                          queue_discipline=spec.queue_discipline)
+                          queue_discipline=spec.queue_discipline,
+                          faults=spec.faults)
 
 
 def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResult]:

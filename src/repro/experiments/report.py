@@ -36,6 +36,28 @@ def _metric_section(fig7: Figure7Results, metric: str, title: str,
     return f"### {title} [{unit}]\n\n" + _md_table(header, rows)
 
 
+def _faults_section(fig7: Figure7Results) -> str:
+    """Realized-reliability table, present only for fault-injected runs."""
+    if not any(r.faults is not None
+               for runs in fig7.results.values() for r in runs):
+        return ""
+    header = ["policy", "disks", "failures", "availability %", "req failed",
+              "req retried", "redirected", "data-loss events", "rebuild kJ"]
+    rows = []
+    for policy, runs in fig7.results.items():
+        for n, result in zip(fig7.disk_counts, runs):
+            f = result.faults
+            if f is None:
+                continue
+            rows.append([policy, str(n), str(f.disk_failures),
+                         f"{100.0 * f.availability:.4f}",
+                         str(f.requests_failed), str(f.requests_retried),
+                         str(f.requests_redirected), str(f.data_loss_events),
+                         f"{f.rebuild_energy_j / 1e3:.1f}"])
+    return ("### Realized reliability (fault injection)\n\n"
+            + _md_table(header, rows))
+
+
 def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy comparison",
                            baseline: str | None = "read",
                            assumptions: CostAssumptions | None = None) -> str:
@@ -59,6 +81,11 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
     parts.append("")
     parts.append(_metric_section(fig7, "response", "Mean response time", lambda v: v * 1e3, "ms"))
     parts.append("")
+
+    fault_section = _faults_section(fig7)
+    if fault_section:
+        parts.append(fault_section)
+        parts.append("")
 
     if baseline and baseline in fig7.results and len(policies) > 1:
         parts.append(f"## {baseline} improvements\n")

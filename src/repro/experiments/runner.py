@@ -32,6 +32,7 @@ from repro.disk.array import DiskArray
 from repro.disk.drive import QueueDiscipline
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams, cheetah_two_speed
 from repro.experiments.metrics import RequestMetrics, SimulationResult
+from repro.faults import FaultConfig, FaultInjector
 from repro.policies.base import Policy
 from repro.policies.maid import MAIDConfig, MAIDPolicy
 from repro.policies.drpm import DRPMConfig, DRPMPolicy
@@ -132,12 +133,17 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
                    n_disks: int, disk_params: TwoSpeedDiskParams | None = None,
                    press: PRESSModel | None = None,
                    initial_speed: DiskSpeed = DiskSpeed.HIGH,
-                   queue_discipline: QueueDiscipline = QueueDiscipline.FCFS) -> SimulationResult:
+                   queue_discipline: QueueDiscipline = QueueDiscipline.FCFS,
+                   faults: FaultConfig | None = None) -> SimulationResult:
     """Run one policy over one trace on an ``n_disks`` array.
 
     The same (fileset, trace) pair should be passed to every competing
     policy — that is the paper's fairness protocol (Sec. 3.5: "all
     algorithms are evaluated ... under the same conditions").
+
+    ``faults`` enables in-simulation fault injection (see
+    :mod:`repro.faults`); ``None`` keeps the fault-free fast path, whose
+    results are bit-identical to runs predating the fault subsystem.
     """
     require(len(trace) >= 1, "trace must contain at least one request")
     params = disk_params if disk_params is not None else _default_disk_params()
@@ -149,7 +155,15 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     metrics = RequestMetrics(expected=len(trace), on_all_done=sim.request_stop)
 
     policy.bind(sim, array, fileset)
-    policy.completion_callback = metrics.on_complete
+    injector: FaultInjector | None = None
+    if faults is None:
+        policy.completion_callback = metrics.on_complete
+    else:
+        injector = FaultInjector(sim, array, policy, model, faults,
+                                 on_success=metrics.on_complete,
+                                 on_permanent_failure=metrics.on_failed)
+        injector.install()
+        policy.completion_callback = injector.on_user_job_complete
     policy.initial_layout()
 
     # Pre-convert the numpy columns to plain Python lists once: the
@@ -186,6 +200,8 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         )
 
     duration = sim.now
+    if injector is not None:
+        injector.shutdown()
     policy.shutdown()
     array.finalize()
 
@@ -195,14 +211,18 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         for state, joules in drive.energy.breakdown().items():
             breakdown[state] = breakdown.get(state, 0.0) + joules
 
+    # under heavy fault injection every request can fail; response-time
+    # stats are then undefined rather than an error
+    no_served = metrics.completed == 0
+
     return SimulationResult(
         policy_name=policy.name,
         n_disks=n_disks,
         n_requests=n,
         duration_s=duration,
-        mean_response_s=metrics.mean_response_s(),
-        p95_response_s=metrics.percentile_response_s(95.0),
-        p99_response_s=metrics.percentile_response_s(99.0),
+        mean_response_s=float("nan") if no_served else metrics.mean_response_s(),
+        p95_response_s=float("nan") if no_served else metrics.percentile_response_s(95.0),
+        p99_response_s=float("nan") if no_served else metrics.percentile_response_s(99.0),
         total_energy_j=array.total_energy_j(),
         array_afr_percent=afr,
         per_disk=tuple(factors),
@@ -210,4 +230,6 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         internal_jobs=sum(d.stats.internal_jobs_served for d in array.drives),
         energy_breakdown_j=breakdown,
         policy_detail=policy.describe(),
+        faults=(None if injector is None else
+                injector.tracker.summarize(n_disks=n_disks, duration_s=duration)),
     )

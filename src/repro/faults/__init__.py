@@ -1,0 +1,31 @@
+"""In-simulation fault injection and degraded-mode serving.
+
+The paper's title question — is sacrificing reliability worthwhile? —
+needs reliability to be *realized*, not just predicted: PRESS produces
+an AFR, but no disk ever fails during the trace-driven run.  This
+package closes that loop.  :class:`FaultInjector` samples per-disk
+failure times during the simulation from the PRESS-derived hazard
+(re-evaluated as each disk's utilization and temperature evolve), drives
+the disk lifecycle up -> failed -> rebuilding -> up through ordinary
+kernel events, and mediates request routing so the array keeps serving
+in degraded mode — redirecting reads to replicas/cache copies where the
+layout has them and recording request failures, retries, and data-loss
+incidents where it does not.
+
+Everything is deterministic under a fixed :attr:`FaultConfig.seed`, and
+with the injector absent (``faults=None`` everywhere) simulations are
+bit-identical to fault-free runs.
+"""
+
+from repro.faults.config import FaultConfig, parse_faults_spec
+from repro.faults.injector import DiskLifecycle, FaultInjector
+from repro.faults.metrics import FaultSummary, FaultTracker
+
+__all__ = [
+    "DiskLifecycle",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultSummary",
+    "FaultTracker",
+    "parse_faults_spec",
+]

@@ -1,0 +1,101 @@
+"""Fault-injection configuration and the CLI ``--faults`` spec parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.util.validation import require, require_non_negative, require_positive
+
+__all__ = ["FaultConfig", "parse_faults_spec"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Knobs of the in-simulation fault injector.
+
+    Attributes
+    ----------
+    seed:
+        Base seed of the per-disk failure-budget streams.  Two runs with
+        the same seed, trace, and policy produce identical failure
+        schedules (the streams are derived per disk label, so array size
+        changes never reshuffle other disks' draws).
+    accel:
+        Hazard acceleration factor.  Real AFRs are a few percent *per
+        year* while traces span hours, so at ``accel=1`` (the physical
+        rate) virtually no run would ever see a failure.  The default
+        compresses time so that a multi-hour trace sees on the order of
+        one failure per few disk-hours — enough to exercise degraded
+        mode without turning the run into rubble.  Set 1.0 to measure
+        the physical process.
+    hazard_refresh_s:
+        Period of the hazard re-evaluation tick.  Each tick re-scores
+        every up disk's PRESS factors (mean temperature, utilization,
+        transition frequency evolve with the workload) and extrapolates
+        the resulting failure rate over the next period.
+    repair_delay_s:
+        Operator response time: seconds between a failure and the
+        replacement spindle being installed (rebuild I/O then starts).
+    max_retries:
+        Resubmissions granted to a request whose serving disk failed
+        (or whose file is on a failed disk with no live copy).
+    retry_backoff_s:
+        Delay before each resubmission.
+    retry_timeout_s:
+        Wall-clock cap, from arrival, after which a request is failed
+        permanently instead of retried again.
+    """
+
+    seed: int = 0
+    accel: float = 50_000.0
+    hazard_refresh_s: float = 60.0
+    repair_delay_s: float = 600.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.5
+    retry_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+        require_positive(self.accel, "accel")
+        require_positive(self.hazard_refresh_s, "hazard_refresh_s")
+        require_non_negative(self.repair_delay_s, "repair_delay_s")
+        require(self.max_retries >= 0,
+                f"max_retries must be >= 0, got {self.max_retries}")
+        require_positive(self.retry_backoff_s, "retry_backoff_s")
+        require_positive(self.retry_timeout_s, "retry_timeout_s")
+
+
+_INT_FIELDS = {"seed", "max_retries"}
+
+
+def parse_faults_spec(spec: str) -> FaultConfig:
+    """Parse the CLI ``--faults`` value into a :class:`FaultConfig`.
+
+    ``"on"`` enables injection with defaults; otherwise the spec is a
+    comma-separated ``key=value`` list over the config fields, e.g.
+    ``"seed=7,accel=10000,repair_delay_s=300"``.  Unknown keys, missing
+    ``=``, and non-numeric values raise :class:`ValueError` (the CLI
+    maps that to exit code 2).
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("--faults spec must not be empty (use 'on' for defaults)")
+    if text.lower() == "on":
+        return FaultConfig()
+    known = {f.name for f in fields(FaultConfig)}
+    kwargs: dict[str, object] = {}
+    for part in text.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ValueError(
+                f"bad --faults entry {part!r}: expected key=value "
+                f"(keys: {', '.join(sorted(known))})")
+        if key not in known:
+            raise ValueError(
+                f"unknown --faults key {key!r}; known: {', '.join(sorted(known))}")
+        try:
+            kwargs[key] = (int(value) if key in _INT_FIELDS else float(value))
+        except ValueError:
+            raise ValueError(f"bad --faults value for {key!r}: {value.strip()!r}") from None
+    return FaultConfig(**kwargs)

@@ -1,0 +1,289 @@
+"""The in-simulation fault injector.
+
+Hazard sampling
+---------------
+Each disk d gets an exponential *failure budget* ``u_d ~ Exp(1)`` drawn
+once up front from a per-disk deterministic stream (and re-drawn for the
+replacement spindle after each rebuild).  Every ``hazard_refresh_s`` the
+injector re-scores the disk's PRESS factors — mean temperature,
+utilization, and transition frequency all evolve with the workload — and
+converts the resulting AFR into an instantaneous failure rate via
+:func:`repro.experiments.failures.annual_failure_rate_to_rate`, scaled
+by the acceleration factor.  The rate is held over the next refresh
+period and the integrated hazard ``Lambda_d`` accumulates; when
+``Lambda_d + rate * period`` would cross ``u_d`` the failure is
+scheduled inside that period at the linearly interpolated instant.  This
+is the standard time-rescaling construction of an inhomogeneous Poisson
+first arrival, discretized at the refresh period; it is deterministic
+given (seed, trace, policy) because the only random draws are the
+budgets.
+
+Lifecycle
+---------
+``UP -> (failure) -> FAILED -> (repair_delay_s) -> REBUILDING -> UP``.
+A failure drops the disk's in-flight and queued jobs (their owners'
+``on_complete`` callbacks fire with ``job.failed`` set); after the
+operator delay a fresh spindle is installed and a single internal job
+sized at the disk's used capacity models the rebuild stream — new
+requests for that disk queue behind it, which is exactly the
+rebuild-storm interference the scenario exists to expose.  Hazard
+accumulation is suspended from failure until the rebuild completes.
+
+Degraded-mode serving
+---------------------
+With an injector installed, every user submit is mediated by
+:meth:`FaultInjector.submit_user_request`: requests whose target is down
+are redirected to a live alternate copy when the policy has one
+(:meth:`repro.policies.base.Policy.alternate_targets`), otherwise they
+fail fast and re-enter through the retry path (bounded by
+``max_retries`` / ``retry_timeout_s``) so a disk coming back mid-run can
+still serve them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.disk.array import DiskArray
+from repro.disk.drive import Job
+from repro.experiments.failures import annual_failure_rate_to_rate
+from repro.faults.config import FaultConfig
+from repro.faults.metrics import FaultTracker
+from repro.policies.base import Policy
+from repro.press.model import PRESSModel
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.timers import PeriodicTask
+from repro.util.rngtools import fixed_seed_sequence
+from repro.util.units import SECONDS_PER_YEAR
+from repro.workload.request import Request
+
+__all__ = ["DiskLifecycle", "FaultInjector"]
+
+
+class DiskLifecycle(enum.Enum):
+    """Injector-side view of one disk's fault state."""
+
+    UP = "up"
+    FAILED = "failed"
+    REBUILDING = "rebuilding"
+
+
+class FaultInjector:
+    """Samples disk failures from the PRESS hazard and mediates serving.
+
+    Event priorities: failures (20) fire before rebuild starts (22),
+    retries (25), and the hazard refresh (30), so a failure scheduled at
+    the exact refresh instant is applied before the next hazard scoring,
+    and all of them fire after same-time job completions (priority 0).
+    """
+
+    _PRIO_FAIL = 20
+    _PRIO_REBUILD = 22
+    _PRIO_RETRY = 25
+    _PRIO_REFRESH = 30
+
+    def __init__(self, sim: Simulator, array: DiskArray, policy: Policy,
+                 press: PRESSModel, config: FaultConfig, *,
+                 on_success: Callable[[Job], None],
+                 on_permanent_failure: Callable[[Job], None]) -> None:
+        self._sim = sim
+        self._array = array
+        self._policy = policy
+        self._press = press
+        self.config = config
+        self._on_success = on_success
+        self._on_permanent_failure = on_permanent_failure
+        self.tracker = FaultTracker()
+
+        n = array.n_disks
+        streams = fixed_seed_sequence(config.seed,
+                                      [f"disk-{d}" for d in range(n)])
+        self._rngs = [streams[f"disk-{d}"] for d in range(n)]
+        #: exponential failure budget per disk (re-drawn after rebuild)
+        self._budget = [float(rng.exponential()) for rng in self._rngs]
+        #: integrated hazard accumulated toward the budget
+        self._hazard = [0.0] * n
+        self._lifecycle = [DiskLifecycle.UP] * n
+        self._pending_failure: list[Optional[EventHandle]] = [None] * n
+        self._pending_rebuild: list[Optional[EventHandle]] = [None] * n
+        self._refresh_task: Optional[PeriodicTask] = None
+        #: per-year -> per-second, with acceleration folded in once
+        self._rate_scale = config.accel / SECONDS_PER_YEAR
+
+    # ------------------------------------------------------------------
+    # lifecycle of the injector itself
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Attach to the policy and start the hazard refresh ticks."""
+        self._policy.fault_domain = self
+        self._refresh_task = PeriodicTask(
+            self._sim, self.config.hazard_refresh_s, self._refresh,
+            priority=self._PRIO_REFRESH)
+
+    def shutdown(self) -> None:
+        """Stop ticks and cancel pending failure/rebuild events."""
+        if self._refresh_task is not None:
+            self._refresh_task.stop()
+            self._refresh_task = None
+        for handles in (self._pending_failure, self._pending_rebuild):
+            for d, handle in enumerate(handles):
+                if handle is not None:
+                    self._sim.cancel(handle)
+                    handles[d] = None
+
+    def lifecycle_of(self, disk_id: int) -> DiskLifecycle:
+        """Current fault state of one disk."""
+        return self._lifecycle[disk_id]
+
+    # ------------------------------------------------------------------
+    # hazard sampling
+    # ------------------------------------------------------------------
+    def _refresh(self, _tick: int) -> None:
+        now = self._sim.now
+        period = self.config.hazard_refresh_s
+        for d, drive in enumerate(self._array.drives):
+            if (self._lifecycle[d] is not DiskLifecycle.UP
+                    or self._pending_failure[d] is not None):
+                continue
+            drive.finalize()
+            factors = self._press.factors_of(drive, now)
+            # Eq. 3 caps below 100%, so the conversion cannot blow up
+            rate = annual_failure_rate_to_rate(factors.afr_percent) * self._rate_scale
+            if rate <= 0.0:
+                continue
+            gap = self._budget[d] - self._hazard[d]
+            if rate * period >= gap:
+                # budget crossed within the coming period: interpolate
+                self._hazard[d] = self._budget[d]
+                self._pending_failure[d] = self._sim.schedule(
+                    gap / rate, (lambda disk=d: self._fail(disk)),
+                    priority=self._PRIO_FAIL)
+            else:
+                self._hazard[d] += rate * period
+
+    # ------------------------------------------------------------------
+    # disk lifecycle
+    # ------------------------------------------------------------------
+    def _fail(self, disk_id: int) -> None:
+        self._pending_failure[disk_id] = None
+        if self._lifecycle[disk_id] is not DiskLifecycle.UP:
+            return
+        now = self._sim.now
+        self._lifecycle[disk_id] = DiskLifecycle.FAILED
+        self.tracker.record_failure(disk_id, now)
+
+        # data-availability census *before* the policy drops its copy
+        # metadata: a file is lost (until rebuild) when every alternate
+        # copy is also down
+        lost = 0
+        for fid in self._array.files_on(disk_id):
+            fid = int(fid)
+            if not any(alt != disk_id and self._array.disk_is_up(alt)
+                       for alt in self._policy.alternate_targets(fid)):
+                lost += 1
+        if lost:
+            self.tracker.data_loss_events += 1
+            self.tracker.files_lost += lost
+
+        # dropping jobs fires their on_complete callbacks (failed=True),
+        # which re-enter through on_user_job_complete and schedule retries
+        self._array.fail_disk(disk_id)
+        self._policy.on_disk_failed(disk_id)
+        self._pending_rebuild[disk_id] = self._sim.schedule(
+            self.config.repair_delay_s,
+            (lambda disk=disk_id: self._start_rebuild(disk)),
+            priority=self._PRIO_REBUILD)
+
+    def _start_rebuild(self, disk_id: int) -> None:
+        self._pending_rebuild[disk_id] = None
+        self._lifecycle[disk_id] = DiskLifecycle.REBUILDING
+        self._array.replace_disk(disk_id)
+        size_mb = float(self._array.used_mb[disk_id])
+        if size_mb <= 0.0:
+            self._finish_rebuild(disk_id, rebuild_job=None)
+            return
+        self._array.submit_internal(
+            disk_id, size_mb,
+            on_complete=(lambda job, disk=disk_id:
+                         self._on_rebuild_complete(disk, job)))
+
+    def _on_rebuild_complete(self, disk_id: int, job: Job) -> None:
+        if job.failed:
+            # the replacement died mid-rebuild (hazard is suspended while
+            # rebuilding, so only reachable through external fail_disk
+            # calls in tests) — treat it as a fresh failure awaiting repair
+            self._lifecycle[disk_id] = DiskLifecycle.FAILED
+            self._pending_rebuild[disk_id] = self._sim.schedule(
+                self.config.repair_delay_s,
+                (lambda disk=disk_id: self._start_rebuild(disk)),
+                priority=self._PRIO_REBUILD)
+            return
+        self._finish_rebuild(disk_id, rebuild_job=job)
+
+    def _finish_rebuild(self, disk_id: int, *, rebuild_job: Optional[Job]) -> None:
+        if rebuild_job is not None:
+            drive = self._array.drives[disk_id]
+            duration = rebuild_job.completion_time - rebuild_job.service_start
+            self.tracker.rebuild_energy_j += (
+                duration * drive.params.mode(drive.speed).active_w)
+        self._lifecycle[disk_id] = DiskLifecycle.UP
+        self.tracker.record_restored(disk_id, self._sim.now)
+        # fresh spindle, fresh budget; hazard restarts from zero
+        self._budget[disk_id] = float(self._rngs[disk_id].exponential())
+        self._hazard[disk_id] = 0.0
+        self._policy.on_disk_restored(disk_id)
+
+    # ------------------------------------------------------------------
+    # degraded-mode serving (the FaultDomain protocol)
+    # ------------------------------------------------------------------
+    def submit_user_request(self, request: Request,
+                            disk_id: Optional[int]) -> Job:
+        """Mediated submit: redirect around failed disks or fail fast."""
+        array = self._array
+        target = array.location_of(request.file_id) if disk_id is None else disk_id
+        if target < 0:
+            raise ValueError(f"file {request.file_id} is not placed on any disk")
+        if not array.drives[target].is_failed:
+            return array.submit_request(request, disk_id=target,
+                                        on_complete=self.on_user_job_complete)
+        for alt in self._policy.alternate_targets(request.file_id):
+            if alt != target and not array.drives[alt].is_failed:
+                self.tracker.requests_redirected += 1
+                return array.submit_request(request, disk_id=alt,
+                                            on_complete=self.on_user_job_complete)
+        # an explicit non-primary target (cache disk, replica) that died
+        # can still fall back to the primary copy
+        primary = array.location_of(request.file_id)
+        if primary != target and not array.drives[primary].is_failed:
+            self.tracker.requests_redirected += 1
+            return array.submit_request(request, disk_id=primary,
+                                        on_complete=self.on_user_job_complete)
+        # no live copy: synthesize the failed job so the retry/permanent
+        # paths are uniform with a mid-service disk death
+        job = Job.for_request(request, on_complete=self.on_user_job_complete)
+        job.failed = True
+        self.on_user_job_complete(job)
+        return job
+
+    def on_user_job_complete(self, job: Job) -> None:
+        if not job.failed:
+            self._on_success(job)
+            return
+        request = job.request
+        assert request is not None  # only user jobs carry this callback
+        now = self._sim.now
+        if (request.retries < self.config.max_retries
+                and now - request.arrival_time < self.config.retry_timeout_s):
+            request.retries += 1
+            self.tracker.requests_retried += 1
+            # re-enter through the policy's router (not a bare resubmit)
+            # so striped fan-out, cache bookkeeping, and spin-up checks
+            # all apply to the retry as they would to a fresh arrival
+            self._sim.schedule(
+                self.config.retry_backoff_s,
+                (lambda req=request: self._policy.route(req)),
+                priority=self._PRIO_RETRY)
+            return
+        self.tracker.requests_failed += 1
+        self._on_permanent_failure(job)

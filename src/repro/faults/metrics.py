@@ -1,0 +1,116 @@
+"""Fault accounting: the mutable in-run tracker and its frozen summary.
+
+These live in ``repro.faults`` (not ``repro.experiments``) so the import
+direction stays one-way: experiments consume fault results, the fault
+layer never imports the experiments layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultSummary", "FaultTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSummary:
+    """Realized-reliability outcome of one fault-injected run.
+
+    Frozen and built from plain types so it survives the pickle hop of
+    the parallel sweep executor.
+    """
+
+    #: Disk failures that occurred during the run, as (disk_id, time_s)
+    #: in occurrence order — the run's failure schedule.  Two runs with
+    #: the same seed and workload must produce identical tuples.
+    failure_schedule: tuple[tuple[int, float], ...]
+    #: Rebuilds that completed before the run ended.
+    rebuilds_completed: int
+    #: User requests permanently failed (retries exhausted / timed out).
+    requests_failed: int
+    #: Resubmissions performed (one request may retry several times).
+    requests_retried: int
+    #: Requests served from a replica/cache copy because the primary was down.
+    requests_redirected: int
+    #: Failures that caught >= 1 file with no live redundant copy.
+    data_loss_events: int
+    #: Files unavailable (no live copy anywhere) summed over loss events.
+    files_lost: int
+    #: Energy attributed to rebuild I/O (active power x rebuild service time).
+    rebuild_energy_j: float
+    #: Summed per-disk out-of-service time (failure -> rebuild complete).
+    downtime_s: float
+    #: 1 - downtime / (n_disks * duration): fraction of disk-hours in service.
+    availability: float
+
+    @property
+    def disk_failures(self) -> int:
+        """Number of disk failures during the run."""
+        return len(self.failure_schedule)
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat dict for tabular reporting (merged into the result row)."""
+        return {
+            "failures": self.disk_failures,
+            "availability_%": round(100.0 * self.availability, 4),
+            "req_failed": self.requests_failed,
+            "req_retried": self.requests_retried,
+            "req_redirected": self.requests_redirected,
+            "data_loss_events": self.data_loss_events,
+            "files_lost": self.files_lost,
+            "rebuild_kJ": round(self.rebuild_energy_j / 1e3, 2),
+        }
+
+
+@dataclass(slots=True)
+class FaultTracker:
+    """Mutable counters the injector updates as the run unfolds."""
+
+    failure_schedule: list[tuple[int, float]] = field(default_factory=list)
+    rebuilds_completed: int = 0
+    requests_failed: int = 0
+    requests_retried: int = 0
+    requests_redirected: int = 0
+    data_loss_events: int = 0
+    files_lost: int = 0
+    rebuild_energy_j: float = 0.0
+    #: disk_id -> time it went down (removed when its rebuild completes).
+    down_since: dict[int, float] = field(default_factory=dict)
+    #: closed out-of-service intervals, summed.
+    closed_downtime_s: float = 0.0
+
+    def record_failure(self, disk_id: int, now: float) -> None:
+        """A disk just failed at ``now``."""
+        self.failure_schedule.append((disk_id, now))
+        self.down_since[disk_id] = now
+
+    def record_restored(self, disk_id: int, now: float) -> None:
+        """``disk_id``'s rebuild completed at ``now``."""
+        self.rebuilds_completed += 1
+        started = self.down_since.pop(disk_id)
+        self.closed_downtime_s += now - started
+
+    def downtime_s(self, end_of_run: float) -> float:
+        """Total out-of-service disk-seconds, open intervals clipped to
+        ``end_of_run``."""
+        open_s = sum(end_of_run - t for t in self.down_since.values())
+        return self.closed_downtime_s + open_s
+
+    def summarize(self, *, n_disks: int, duration_s: float) -> FaultSummary:
+        """Freeze the counters into a picklable :class:`FaultSummary`."""
+        downtime = self.downtime_s(duration_s)
+        disk_seconds = n_disks * duration_s
+        availability = 1.0 if disk_seconds <= 0.0 else max(
+            0.0, 1.0 - downtime / disk_seconds)
+        return FaultSummary(
+            failure_schedule=tuple(self.failure_schedule),
+            rebuilds_completed=self.rebuilds_completed,
+            requests_failed=self.requests_failed,
+            requests_retried=self.requests_retried,
+            requests_redirected=self.requests_redirected,
+            data_loss_events=self.data_loss_events,
+            files_lost=self.files_lost,
+            rebuild_energy_j=self.rebuild_energy_j,
+            downtime_s=downtime,
+            availability=availability,
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.disk.array import DiskArray
 from repro.disk.drive import Job
@@ -30,11 +30,23 @@ from repro.util.validation import require, require_positive
 from repro.workload.files import FileSet
 from repro.workload.request import Request
 
-__all__ = ["Policy", "PolicyError", "SpeedControlConfig", "SpeedController", "TransitionBudget"]
+__all__ = ["FaultDomain", "Policy", "PolicyError", "SpeedControlConfig",
+           "SpeedController", "TransitionBudget"]
 
 
 class PolicyError(RuntimeError):
     """Raised for policy misuse (unbound policy, invalid configuration)."""
+
+
+class FaultDomain(Protocol):
+    """What a policy needs from the fault layer: a mediated submit.
+
+    Implemented by :class:`repro.faults.FaultInjector`; declared here as a
+    protocol so the policy layer never imports the fault layer.
+    """
+
+    def submit_user_request(self, request: Request,
+                            disk_id: Optional[int]) -> Job: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,9 +183,13 @@ class SpeedController:
         or estimated wait crosses the configured trigger.
 
         Call *before* submitting the arriving job(s) so the decision uses
-        the pre-arrival queue plus ``incoming_jobs``.
+        the pre-arrival queue plus ``incoming_jobs``.  A failed drive is
+        left alone (it cannot transition; the arriving work will be
+        redirected or failed by the fault domain).
         """
         drive = self._drives[disk_id]
+        if drive.is_failed:
+            return
         self._timers[disk_id].cancel()
         if drive.effective_target_speed is DiskSpeed.HIGH:
             return
@@ -218,6 +234,10 @@ class Policy(abc.ABC):
         self.array: Optional[DiskArray] = None
         self.fileset: Optional[FileSet] = None
         self.completion_callback: Optional[Callable[[Job], None]] = None
+        #: Installed by :class:`repro.faults.FaultInjector` when fault
+        #: injection is active; ``None`` (the default) keeps the fast
+        #: direct-submit path and today's bit-identical behaviour.
+        self.fault_domain: Optional["FaultDomain"] = None
 
     # ------------------------------------------------------------------
     def bind(self, sim: Simulator, array: DiskArray, fileset: FileSet) -> None:
@@ -253,11 +273,38 @@ class Policy(abc.ABC):
         event queue can drain (default: no reaction)."""
 
     # ------------------------------------------------------------------
+    # degraded-mode interface (consulted only under fault injection)
+    # ------------------------------------------------------------------
+    def alternate_targets(self, file_id: int) -> tuple[int, ...]:
+        """Disks besides the primary that hold a servable copy of
+        ``file_id`` (replicas, cache copies).  Layouts without redundancy
+        return the default empty tuple — requests for a file whose only
+        copy sits on a failed disk then fail."""
+        return ()
+
+    def on_disk_failed(self, disk_id: int) -> None:
+        """Hook: ``disk_id`` just failed (default: no reaction).
+
+        Policies holding metadata about copies on that disk (MAID's
+        cache map, READ-replicate's replica map) must drop it here."""
+
+    def on_disk_restored(self, disk_id: int) -> None:
+        """Hook: ``disk_id``'s rebuild finished; primary data is back
+        (default: no reaction)."""
+
+    # ------------------------------------------------------------------
     def submit(self, request: Request, *, disk_id: Optional[int] = None) -> Job:
-        """Submit a user request with the runner's metrics callback attached."""
+        """Submit a user request with the runner's metrics callback attached.
+
+        Under fault injection the submit is mediated by the fault domain,
+        which redirects away from failed disks (via
+        :meth:`alternate_targets`) or fails the request.
+        """
         array = self.array
         if array is None:
             array = self._require_bound()
+        if self.fault_domain is not None:
+            return self.fault_domain.submit_user_request(request, disk_id)
         return array.submit_request(request, disk_id=disk_id,
                                     on_complete=self.completion_callback)
 

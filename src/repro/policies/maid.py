@@ -158,7 +158,9 @@ class MAIDPolicy(Policy):
         assert self._controller is not None
         self._controller.check_spin_up(primary)
         job = self.submit(request, disk_id=primary)
-        if cached_on is None and fid not in self._copying:
+        # job.failed is only set this early when the fault domain failed
+        # the submit synchronously — nothing was read, so nothing to copy
+        if cached_on is None and fid not in self._copying and not job.failed:
             self._start_copy(fid, job)
 
     def on_disk_idle(self, disk_id: int) -> None:
@@ -172,6 +174,30 @@ class MAIDPolicy(Policy):
     def shutdown(self) -> None:
         if self._controller is not None:
             self._controller.shutdown()
+
+    # ------------------------------------------------------------------
+    # degraded mode (fault injection)
+    # ------------------------------------------------------------------
+    def alternate_targets(self, file_id: int) -> tuple[int, ...]:
+        """A completed cache copy is a servable alternate to the primary."""
+        disk = self._cache.get(file_id)
+        if disk is not None and file_id not in self._copying:
+            return (disk,)
+        return ()
+
+    def on_disk_failed(self, disk_id: int) -> None:
+        """Drop cache metadata that pointed at the failed disk.
+
+        A failed passive disk needs no cache-side action (its files'
+        copies remain servable); a failed cache disk loses every copy it
+        held — the copies are re-created by later misses, the rebuild
+        only restores primary data.
+        """
+        if not self.is_cache_disk(disk_id) or self._cache_used_mb is None:
+            return
+        for fid in [f for f, d in self._cache.items() if d == disk_id]:
+            del self._cache[fid]
+        self._cache_used_mb[disk_id] = 0.0
 
     # ------------------------------------------------------------------
     # cache management
@@ -207,6 +233,11 @@ class MAIDPolicy(Policy):
 
             def _after_cache_write(_wjob: Job) -> None:
                 self._copying.discard(fid)
+                if _wjob.failed:
+                    # cache disk died before the copy landed: release the
+                    # charged space, leave the file uncached
+                    self._cache_used_mb[target] -= size
+                    return
                 self._cache[fid] = target  # becomes visible (and LRU-newest) now
 
             self.array.submit_internal(target, size, on_complete=_after_cache_write)
@@ -217,6 +248,11 @@ class MAIDPolicy(Policy):
         def _chained(job: Job) -> None:
             if prev is not None:
                 prev(job)
+            if job.failed:
+                # the miss read never finished (disk failure); there is
+                # nothing to copy — the retry path re-serves the request
+                self._copying.discard(fid)
+                return
             _after_user_read(job)
 
         triggering_job.on_complete = _chained
@@ -227,6 +263,12 @@ class MAIDPolicy(Policy):
         if self._n_cache == 0:
             return None
         candidate = int(np.argmin(self._cache_used_mb))
+        if self.array.drives[candidate].is_failed:
+            up = [d for d in range(self._n_cache)
+                  if not self.array.drives[d].is_failed]
+            if not up:
+                return None
+            candidate = min(up, key=lambda d: float(self._cache_used_mb[d]))
         return candidate if size_mb <= self._cache_budget_mb() else None
 
     def _evict_until_fits(self, cache_disk: int, size_mb: float) -> bool:

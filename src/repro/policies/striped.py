@@ -76,12 +76,18 @@ class StripedStaticPolicy(Policy):
         record = Job.for_request(request)
 
         def on_leg_complete(leg: Job) -> None:
-            state["first_start"] = min(state["first_start"], leg.service_start)
+            # a failed leg (disk death, fault injection) fails the whole
+            # stripe read: RAID-0 has no redundancy to reconstruct from
+            if leg.failed:
+                record.failed = True
+            else:
+                state["first_start"] = min(state["first_start"], leg.service_start)
             state["remaining"] -= 1
             if state["remaining"] == 0:
-                request.service_start = state["first_start"]
-                request.completion_time = self.sim.now
-                record.completion_time = self.sim.now
+                if not record.failed:
+                    request.service_start = state["first_start"]
+                    request.completion_time = self.sim.now
+                    record.completion_time = self.sim.now
                 if self.completion_callback is not None:
                     self.completion_callback(record)
 

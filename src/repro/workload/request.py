@@ -56,6 +56,8 @@ class Request:
     service_start: float = field(default=-1.0)
     #: When the transfer finished.
     completion_time: float = field(default=-1.0)
+    #: Resubmissions after a disk failure (fault injection; 0 otherwise).
+    retries: int = field(default=0)
 
     def __post_init__(self) -> None:
         # constructed once per trace request — validate with plain
@@ -83,6 +85,7 @@ class Request:
         req.served_by = -1
         req.service_start = -1.0
         req.completion_time = -1.0
+        req.retries = 0
         return req
 
     @property

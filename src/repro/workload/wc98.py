@@ -38,7 +38,8 @@ from repro.util.validation import require
 from repro.workload.files import FileSet
 from repro.workload.trace import Trace
 
-__all__ = ["WC98Record", "read_wc98", "write_wc98", "wc98_to_trace", "RECORD_SIZE"]
+__all__ = ["TraceFormatError", "WC98Record", "read_wc98", "write_wc98",
+           "wc98_to_trace", "RECORD_SIZE"]
 
 #: struct layout: big-endian, 4 uint32 + 4 uint8 = 20 bytes.
 _RECORD_STRUCT = struct.Struct(">IIIIBBBB")
@@ -47,6 +48,34 @@ assert RECORD_SIZE == 20
 
 #: Method code for GET in the WC98 tools distribution.
 METHOD_GET = 0
+
+
+class TraceFormatError(ValueError):
+    """A binary trace file does not conform to the WC98 wire format.
+
+    Raised (rather than silently mis-parsing or swallowing the tail)
+    when the byte stream ends mid-record — the classic symptom of an
+    interrupted download or a log truncated by disk-full.  Carries the
+    location so the offending file can be inspected/repaired:
+
+    Attributes
+    ----------
+    record_index:
+        Index of the record that could not be decoded (0-based; equals
+        the number of records decoded successfully).
+    byte_offset:
+        File offset at which that record starts.
+    got_bytes:
+        How many bytes of the partial record were present.
+    """
+
+    def __init__(self, record_index: int, byte_offset: int, got_bytes: int) -> None:
+        super().__init__(
+            f"truncated WC98 record #{record_index} at byte {byte_offset}: "
+            f"got {got_bytes} trailing byte(s), expected {RECORD_SIZE}")
+        self.record_index = record_index
+        self.byte_offset = byte_offset
+        self.got_bytes = got_bytes
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,15 +99,24 @@ class WC98Record:
 
 
 def _iter_records(fh: BinaryIO) -> Iterator[WC98Record]:
+    index = 0
+    offset = 0
     while True:
         chunk = fh.read(RECORD_SIZE)
         if not chunk:
             return
         if len(chunk) != RECORD_SIZE:
-            raise ValueError(
-                f"truncated WC98 record: got {len(chunk)} bytes, expected {RECORD_SIZE}"
-            )
+            # short reads mid-stream (pipes, sockets) are legal — keep
+            # reading until the record completes or the stream truly
+            # ends; only a short record *at EOF* is corruption
+            while len(chunk) < RECORD_SIZE:
+                rest = fh.read(RECORD_SIZE - len(chunk))
+                if not rest:
+                    raise TraceFormatError(index, offset, len(chunk))
+                chunk += rest
         yield WC98Record(*_RECORD_STRUCT.unpack(chunk))
+        index += 1
+        offset += RECORD_SIZE
 
 
 def read_wc98(path_or_file: Union[str, Path, BinaryIO], *,

@@ -1,0 +1,120 @@
+"""Golden end-to-end regression snapshots.
+
+A fixed-seed, fixed-workload comparison whose headline numbers are
+pinned to the values produced at the time this test was written.  Any
+behavioral drift anywhere in the stack — trace generation, queueing,
+the energy/thermal ledgers, PRESS scoring, fault injection — moves one
+of these numbers and fails loudly, which is exactly the point: the
+qualitative ordering tests elsewhere would happily absorb a silent
+5% shift.
+
+Tolerances are tight (1e-9 relative) rather than exact-equality so the
+snapshot survives benign float-summation differences across platforms
+while still catching any real change.  If a deliberate change lands
+(new integration order, different ledger granularity), regenerate the
+constants with the recipe in each test's docstring and say so in the
+commit message.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
+from repro.faults import FaultConfig
+from repro.workload.synthetic import SyntheticWorkloadConfig
+
+REL = 1e-9
+
+#: The pinned scenario: bursty arrivals slow enough (0.3 s mean gap)
+#: that idling policies actually cycle speeds, on a 6-disk array.
+WORKLOAD = SyntheticWorkloadConfig(n_files=300, n_requests=12_000, seed=123,
+                                   bursty=True, mean_interarrival_s=0.3)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = ExperimentConfig(workload=WORKLOAD)
+    fileset, trace = cfg.generate()
+    return cfg, fileset, trace
+
+
+def _run(workload, policy, **kwargs):
+    cfg, fileset, trace = workload
+    return run_simulation(make_policy(policy), fileset, trace, n_disks=6,
+                          disk_params=cfg.disk_params, **kwargs)
+
+
+class TestFaultFreeSnapshot:
+    """Two cells of the fault-free comparison, pinned.
+
+    Regenerate with::
+
+        r = run_simulation(make_policy(name), fileset, trace, n_disks=6)
+        print(r.total_energy_j, r.array_afr_percent, r.mean_response_s, ...)
+    """
+
+    def test_pdc_cell(self, workload):
+        r = _run(workload, "pdc")
+        assert r.total_energy_j == pytest.approx(189637.55390271635, rel=REL)
+        assert r.array_afr_percent == pytest.approx(48.29607502609301, rel=REL)
+        assert r.mean_response_s == pytest.approx(0.08559092029231885, rel=REL)
+        assert r.p95_response_s == pytest.approx(0.014992844677078664, rel=REL)
+        assert r.p99_response_s == pytest.approx(4.008578951977422, rel=REL)
+        assert r.total_transitions == 369
+        assert r.faults is None
+
+    def test_static_high_cell(self, workload):
+        r = _run(workload, "static-high")
+        assert r.total_energy_j == pytest.approx(214775.11340099556, rel=REL)
+        assert r.array_afr_percent == pytest.approx(10.500139, rel=REL)
+        assert r.mean_response_s == pytest.approx(0.008954224781555414, rel=REL)
+        assert r.p95_response_s == pytest.approx(0.00970981319198927, rel=REL)
+        assert r.p99_response_s == pytest.approx(0.014523795322306798, rel=REL)
+        assert r.total_transitions == 0
+        assert r.faults is None
+
+
+class TestFaultInjectionSnapshot:
+    """One fault-injected cell: the realized failure schedule and every
+    derived reliability metric, pinned.  This is the determinism
+    acceptance criterion made executable — same seed, same schedule,
+    forever."""
+
+    EXPECTED_SCHEDULE = (
+        (0, 194.36058597409854), (1, 650.6190106528347),
+        (3, 664.953992359861), (0, 1208.3414333100498),
+        (4, 1582.3370958412338), (2, 1905.0888443981435),
+        (1, 1956.9970089656258), (2, 2543.0147752856014),
+        (5, 2971.5391882393014), (1, 3085.441331804838),
+        (2, 3269.8865308458694), (0, 3310.541591207325),
+    )
+
+    @pytest.fixture(scope="class")
+    def result(self, workload):
+        return _run(workload, "read", faults=FaultConfig(seed=3, accel=2e5))
+
+    def test_failure_schedule(self, result):
+        sched = result.faults.failure_schedule
+        assert [d for d, _ in sched] == [d for d, _ in self.EXPECTED_SCHEDULE]
+        for (_, got), (_, want) in zip(sched, self.EXPECTED_SCHEDULE):
+            assert got == pytest.approx(want, rel=REL)
+
+    def test_reliability_metrics(self, result):
+        f = result.faults
+        assert f.rebuilds_completed == 8
+        assert f.requests_failed == 4259
+        assert f.requests_retried == 8523
+        assert f.requests_redirected == 0
+        assert f.data_loss_events == 12
+        assert f.files_lost == 631
+        assert f.availability == pytest.approx(0.7060143506652574, rel=REL)
+        assert f.rebuild_energy_j == pytest.approx(8.77064511049366, rel=REL)
+        assert f.downtime_s == pytest.approx(6181.9480085294745, rel=REL)
+
+    def test_energy_under_faults(self, result):
+        assert result.total_energy_j == pytest.approx(131957.592490413, rel=REL)
+
+    def test_rerun_is_identical(self, workload, result):
+        again = _run(workload, "read", faults=FaultConfig(seed=3, accel=2e5))
+        assert again.faults == result.faults
+        assert again.total_energy_j == result.total_energy_j
+        assert again.mean_response_s == result.mean_response_s

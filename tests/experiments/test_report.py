@@ -57,3 +57,27 @@ class TestWrite:
         path = write_markdown_report(small_fig7, tmp_path / "report.md")
         assert path.exists()
         assert path.read_text().startswith("# Policy comparison")
+
+
+class TestFaultsSection:
+    @pytest.fixture(scope="class")
+    def faulted_fig7(self):
+        from repro.faults import FaultConfig
+        cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+            n_files=80, n_requests=3_000, seed=5, mean_interarrival_s=0.01))
+        return figure7_comparison(
+            cfg, disk_counts=(4,), policies=("read",),
+            faults=FaultConfig(seed=3, accel=2e6, hazard_refresh_s=5.0,
+                               repair_delay_s=10.0))
+
+    def test_absent_without_faults(self, small_fig7):
+        assert "Realized reliability" not in render_markdown_report(small_fig7)
+
+    def test_realized_reliability_table(self, faulted_fig7):
+        md = render_markdown_report(faulted_fig7)
+        assert "### Realized reliability (fault injection)" in md
+        assert "availability %" in md
+        assert "data-loss events" in md
+        assert "rebuild kJ" in md
+        rows = [l for l in md.splitlines() if l.startswith("| read | 4 |")]
+        assert len(rows) == 1

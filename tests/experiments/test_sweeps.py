@@ -90,3 +90,17 @@ class TestIdleThresholdSweep:
     def test_rejects_non_idling_policy(self, cfg):
         with pytest.raises(ValueError):
             sweep_idle_threshold(cfg, policy="static-high")
+
+
+class TestFaultAccelerationSweep:
+    def test_availability_degrades_with_acceleration(self, cfg):
+        from repro.experiments.sweeps import sweep_fault_acceleration
+        out = sweep_fault_acceleration(cfg, accels=(1e4, 5e6), policy="read",
+                                       n_disks=4, seed=3)
+        assert set(out) == {1e4, 5e6}
+        low, high = out[1e4].faults, out[5e6].faults
+        assert low is not None and high is not None
+        # stronger acceleration -> at least as many failures, no better
+        # availability (same budgets at both points, only the scale moves)
+        assert high.disk_failures >= low.disk_failures
+        assert high.availability <= low.availability

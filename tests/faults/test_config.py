@@ -1,0 +1,62 @@
+"""FaultConfig validation and the --faults spec parser."""
+
+import pytest
+
+from repro.faults import FaultConfig, parse_faults_spec
+
+
+class TestFaultConfig:
+    def test_defaults_are_valid(self):
+        cfg = FaultConfig()
+        assert cfg.seed == 0
+        assert cfg.accel > 1.0
+        assert cfg.max_retries >= 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seed": -1},
+        {"accel": 0.0},
+        {"accel": -10.0},
+        {"hazard_refresh_s": 0.0},
+        {"repair_delay_s": -1.0},
+        {"max_retries": -1},
+        {"retry_backoff_s": 0.0},
+        {"retry_timeout_s": 0.0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultConfig().seed = 5
+
+
+class TestParseFaultsSpec:
+    def test_on_gives_defaults(self):
+        assert parse_faults_spec("on") == FaultConfig()
+        assert parse_faults_spec("ON") == FaultConfig()
+
+    def test_key_value_list(self):
+        cfg = parse_faults_spec("seed=7,accel=10000,repair_delay_s=300")
+        assert cfg == FaultConfig(seed=7, accel=10_000.0, repair_delay_s=300.0)
+
+    def test_int_fields_parse_as_int(self):
+        cfg = parse_faults_spec("max_retries=4")
+        assert cfg.max_retries == 4
+        assert isinstance(cfg.max_retries, int)
+
+    def test_whitespace_tolerated(self):
+        assert parse_faults_spec(" seed = 3 ").seed == 3
+
+    @pytest.mark.parametrize("spec, fragment", [
+        ("", "must not be empty"),
+        ("   ", "must not be empty"),
+        ("seed", "expected key=value"),
+        ("bogus=1", "unknown --faults key"),
+        ("accel=banana", "bad --faults value"),
+        ("seed=1.5", "bad --faults value"),
+        ("accel=-5", "accel"),
+    ])
+    def test_bad_specs_raise(self, spec, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_faults_spec(spec)

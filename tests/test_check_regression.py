@@ -85,3 +85,37 @@ class TestCommittedBaseline:
         path.write_text(json.dumps(bad))
         assert check_regression.main([str(path)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestCiGate:
+    """The combined gate script: importable helpers, graceful skips."""
+
+    @pytest.fixture(scope="class")
+    def ci_gate(self):
+        import sys
+        sys.modules.setdefault("check_regression", check_regression)
+        spec = importlib.util.spec_from_file_location(
+            "ci_gate", REPO_ROOT / "benchmarks" / "ci_gate.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_has_pytest_cov_is_boolean(self, ci_gate):
+        assert isinstance(ci_gate.has_pytest_cov(), bool)
+
+    def test_regression_check_skips_without_results(self, ci_gate, tmp_path,
+                                                    monkeypatch, capsys):
+        monkeypatch.setattr(ci_gate, "RESULTS_PATH", tmp_path / "missing.json")
+        assert ci_gate.run_regression_check() == 0
+        assert "perf gate skipped" in capsys.readouterr().out
+
+    def test_regression_check_runs_on_fresh_results(self, ci_gate, tmp_path,
+                                                    monkeypatch, capsys):
+        results = tmp_path / "throughput.json"
+        # numbers far better than any plausible baseline: gate must pass
+        results.write_text(json.dumps({"kernel_events_per_sec": 1e12,
+                                       "sweep8_serial_s": 1e-6,
+                                       "sweep8_jobs4_s": 1e-6}))
+        monkeypatch.setattr(ci_gate, "RESULTS_PATH", results)
+        assert ci_gate.run_regression_check() == 0
+        assert "ok:" in capsys.readouterr().out

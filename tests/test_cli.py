@@ -126,3 +126,69 @@ class TestTrace:
         rc = main(["trace", "info", "/nonexistent/trace.csv"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Every bad invocation must exit 2 with a diagnostic on stderr —
+    never a traceback, never a zero exit."""
+
+    def test_unknown_policy_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--policy", "bogus", *SMALL])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'bogus'" in capsys.readouterr().err
+
+    def test_unknown_policy_in_compare_list(self, capsys):
+        # --policies is free-form CSV, so this surfaces at run time
+        rc = main(["compare", "--policies", "read,bogus", "--disks", "4", *SMALL])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown policy 'bogus'" in err
+
+    def test_bad_jobs_count(self, capsys):
+        rc = main(["compare", "--policies", "read", "--disks", "4",
+                   "--jobs", "0", *SMALL])
+        assert rc == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        rc = main(["trace", "info", "/nonexistent/trace.csv"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_wc98_binary(self, capsys):
+        rc = main(["trace", "convert-wc98", "/nonexistent/day.bin",
+                   "--out", "/tmp/out.csv"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec, fragment", [
+        ("accel=banana", "bad --faults value for 'accel'"),
+        ("nonsense=1", "unknown --faults key"),
+        ("seed", "expected key=value"),
+        ("", "--faults spec must not be empty"),
+        ("accel=-5", "accel"),
+    ])
+    def test_invalid_faults_spec(self, capsys, spec, fragment):
+        rc = main(["simulate", "--policy", "read", "--faults", spec, *SMALL])
+        assert rc == 2
+        assert fragment in capsys.readouterr().err
+
+
+class TestFaultsFlag:
+    def test_simulate_with_faults_prints_reliability_block(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--faults", "seed=3,accel=200000", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault injection:" in out
+        assert "availability" in out
+
+    def test_compare_with_faults_prints_availability_series(self, capsys):
+        rc = main(["compare", "--policies", "read", "--disks", "4",
+                   "--faults", "on", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "availability [%]" in out
+        assert "data-loss events" in out

@@ -8,6 +8,7 @@ import pytest
 
 from repro.workload.wc98 import (
     RECORD_SIZE,
+    TraceFormatError,
     WC98Record,
     read_wc98,
     wc98_to_trace,
@@ -69,6 +70,61 @@ class TestRoundtrip:
         path = tmp_path / "empty.bin"
         path.write_bytes(b"")
         assert read_wc98(path) == []
+
+
+class TestMalformedInput:
+    """Crafted corrupt/truncated streams must fail with a located
+    TraceFormatError, never silently drop or mis-parse the tail."""
+
+    def test_error_locates_truncated_tail(self, tmp_path):
+        # 3 good records followed by 13 bytes of a fourth
+        path = tmp_path / "cut.bin"
+        good = [rec(ts=t) for t in range(3)]
+        path.write_bytes(b"".join(r.pack() for r in good) + rec().pack()[:13])
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_wc98(path)
+        err = excinfo.value
+        assert err.record_index == 3
+        assert err.byte_offset == 3 * RECORD_SIZE
+        assert err.got_bytes == 13
+        assert "record #3" in str(err)
+        assert f"byte {3 * RECORD_SIZE}" in str(err)
+
+    def test_single_trailing_byte(self, tmp_path):
+        path = tmp_path / "one.bin"
+        path.write_bytes(rec().pack() + b"\x00")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_wc98(path)
+        assert excinfo.value.record_index == 1
+        assert excinfo.value.got_bytes == 1
+
+    def test_error_is_a_value_error(self):
+        # callers catching the historical ValueError keep working
+        with pytest.raises(ValueError, match="truncated"):
+            read_wc98(io.BytesIO(b"\x01" * 7))
+
+    def test_max_records_before_corruption_still_reads(self, tmp_path):
+        # the cap stops reading before the bad tail is ever touched
+        path = tmp_path / "cut.bin"
+        good = [rec(ts=t) for t in range(5)]
+        path.write_bytes(b"".join(r.pack() for r in good) + b"\xff" * 6)
+        assert read_wc98(path, max_records=5) == good
+        with pytest.raises(TraceFormatError):
+            read_wc98(path)
+
+    def test_short_reads_mid_stream_are_completed(self):
+        # a pipe-like stream that returns one byte per read() is legal
+        # input, not corruption
+        class Dribble(io.RawIOBase):
+            def __init__(self, data):
+                self._buf = io.BytesIO(data)
+
+            def read(self, n=-1):
+                return self._buf.read(1 if n is None or n < 0 else min(1, n))
+
+        records = [rec(ts=t) for t in (5, 6, 7)]
+        data = b"".join(r.pack() for r in records)
+        assert read_wc98(Dribble(data)) == records
 
 
 class TestTraceConversion:
