@@ -6,7 +6,10 @@ numbers stay comparable across commits:
 * kernel events/sec — a self-rescheduling tick drained through
   :meth:`~repro.sim.engine.Simulator.run_until_drained`, best of three;
 * the 8-cell Fig. 7-style sweep (read, maid x 6..12 disks) through
-  :func:`~repro.experiments.parallel.run_cells`, serial and ``jobs=4``.
+  :func:`~repro.experiments.parallel.run_cells`, serial and ``jobs=4``;
+* one sweep cell (read x 8 disks) with telemetry off and with full
+  event tracing to a JSONL file, guarding both the obs-disabled hot
+  path and the tracing-on overhead ratio.
 
 The committed reference numbers live in ``BENCH_throughput.json`` at the
 repo root; each run writes its fresh measurement to
@@ -17,12 +20,14 @@ compares the two (>20% events/sec drop fails).
 from __future__ import annotations
 
 import json
+import tempfile
 from pathlib import Path
 from time import perf_counter
 
 from conftest import RESULTS_DIR, record_table
-from check_regression import BASELINE_PATH, compare
+from check_regression import BASELINE_PATH, compare, tracing_overhead
 from repro.experiments.parallel import RunSpec, run_cells
+from repro.obs import ObsConfig
 from repro.sim.engine import Simulator
 from repro.workload.synthetic import SyntheticWorkloadConfig
 
@@ -76,6 +81,18 @@ def measure_sweep_s(jobs: int, repeats: int = 2) -> float:
     return best
 
 
+def measure_cell_s(obs: ObsConfig | None = None, repeats: int = 2) -> float:
+    """Best-of-N wall-clock for one sweep cell (read x 8 disks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        spec = RunSpec(policy="read", n_disks=8, workload=SWEEP_WORKLOAD,
+                       obs=obs)
+        start = perf_counter()
+        run_cells([spec], jobs=1)
+        best = min(best, perf_counter() - start)
+    return best
+
+
 def _write_results(results: dict) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "throughput.json"
@@ -87,6 +104,10 @@ def test_throughput(benchmark):
     events_per_sec = measure_kernel_events_per_sec()
     serial_s = measure_sweep_s(jobs=1)
     jobs4_s = measure_sweep_s(jobs=4)
+    cell_obs_off_s = measure_cell_s()
+    with tempfile.TemporaryDirectory() as td:
+        cell_traced_s = measure_cell_s(
+            ObsConfig(trace_path=str(Path(td) / "trace.jsonl")))
     benchmark.pedantic(lambda: events_per_sec, rounds=1, iterations=1)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
@@ -94,6 +115,8 @@ def test_throughput(benchmark):
         "kernel_events_per_sec": round(events_per_sec),
         "sweep8_serial_s": round(serial_s, 3),
         "sweep8_jobs4_s": round(jobs4_s, 3),
+        "cell_obs_off_s": round(cell_obs_off_s, 3),
+        "cell_traced_s": round(cell_traced_s, 3),
     }
     _write_results(current)
 
@@ -109,10 +132,16 @@ def test_throughput(benchmark):
         f"{'8-cell sweep, jobs=4 [s]':<28}{jobs4_s:>12.2f}"
         f"{baseline.get('sweep8_jobs4_s', float('nan')):>12.2f}"
         f"{'':>12}",
+        f"{'1 cell, telemetry off [s]':<28}{cell_obs_off_s:>12.2f}"
+        f"{baseline.get('cell_obs_off_s', float('nan')):>12.2f}"
+        f"{'':>12}",
+        f"{'1 cell, traced [s]':<28}{cell_traced_s:>12.2f}"
+        f"{baseline.get('cell_traced_s', float('nan')):>12.2f}"
+        f"{'':>12}",
     ]
     record_table("Throughput: event kernel and 8-cell sweep", "\n".join(lines))
 
-    regressions = compare(current, baseline)
+    regressions = compare(current, baseline) + tracing_overhead(current)
     assert not regressions, "; ".join(regressions)
     # Acceptance: the sweep beats the pre-optimization (seed) serial
     # wall-clock by >= 2x at jobs=4 — on multi-core via the process pool,

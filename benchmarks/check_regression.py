@@ -25,11 +25,21 @@ RESULTS_PATH = Path(__file__).resolve().parent / "results" / "throughput.json"
 #: Allowed relative slowdown before the gate fails.
 DEFAULT_THRESHOLD = 0.20
 
-#: metric name -> True if higher is better.
+#: Allowed wall-clock ratio of a traced run over the same run with
+#: telemetry off.  JSON-serializing every event to a file measures
+#: around 4x on the reference cell; beyond 5x something pathological
+#: has leaked into the emission path.
+MAX_TRACING_OVERHEAD = 5.0
+
+#: metric name -> True if higher is better.  ``cell_obs_off_s`` is the
+#: obs-disabled guard: the telemetry hooks must not slow the default
+#: (no-subscriber) path beyond the ordinary threshold.
 _METRICS = {
     "kernel_events_per_sec": True,
     "sweep8_serial_s": False,
     "sweep8_jobs4_s": False,
+    "cell_obs_off_s": False,
+    "cell_traced_s": False,
 }
 
 
@@ -62,6 +72,28 @@ def compare(current: dict, baseline: dict, *,
     return problems
 
 
+def tracing_overhead(current: dict, *,
+                     max_ratio: float = MAX_TRACING_OVERHEAD) -> list[str]:
+    """Check the traced/untraced wall-clock ratio within one measurement.
+
+    Unlike :func:`compare` this needs no baseline — both numbers come
+    from the same run on the same machine, so the ratio is free of
+    host-speed noise.  Returns an empty list when either measurement is
+    missing or non-positive (the check cannot run).
+    """
+    if not max_ratio > 1.0:
+        raise ValueError(f"max_ratio must be > 1, got {max_ratio!r}")
+    off = float(current.get("cell_obs_off_s", 0.0) or 0.0)
+    traced = float(current.get("cell_traced_s", 0.0) or 0.0)
+    if not (off > 0.0 and traced > 0.0):
+        return []
+    ratio = traced / off
+    if ratio > max_ratio:
+        return [f"tracing overhead: {traced:g}s traced vs {off:g}s off "
+                f"({ratio:.2f}x, limit {max_ratio:g}x)"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     results_path = Path(args[0]) if args else RESULTS_PATH
@@ -71,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     current = json.loads(results_path.read_text(encoding="utf-8"))
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    problems = compare(current, baseline)
+    problems = compare(current, baseline) + tracing_overhead(current)
     if problems:
         for line in problems:
             print(f"REGRESSION {line}")

@@ -10,7 +10,13 @@ Five commands mirror the library's main entry points:
 * ``worthwhile`` — the title question for one scheme vs the always-on
   reference, in dollars per year;
 * ``report``     — write a full markdown comparison report;
-* ``trace``      — generate/inspect traces and convert WC98 binary logs.
+* ``trace``      — generate/inspect traces and convert WC98 binary logs;
+* ``obs``        — inspect telemetry artifacts (``obs summarize`` rolls
+  a JSONL event trace up per event type and per disk).
+
+``simulate`` and ``compare`` accept telemetry flags (``--trace-out``,
+``--metrics-out``, ``--sample-interval``) that attach the
+:mod:`repro.obs` layer to the run.
 
 Every command is a pure function of its arguments (workloads are seeded)
 so CLI output is reproducible and scriptable.
@@ -85,6 +91,56 @@ def _faults_config(args: argparse.Namespace):
     return parse_faults_spec(args.faults)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser, *,
+                  profile: bool = False) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the structured event trace as JSONL")
+    group.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the sampled per-disk time-series "
+                            "(CSV, or JSON when FILE ends in .json)")
+    group.add_argument("--sample-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="simulated seconds between time-series samples "
+                            "(default 60 when --metrics-out is given)")
+    if profile:
+        group.add_argument("--profile", action="store_true",
+                           help="time the event loop per handler and print "
+                                "the profile")
+
+
+def _obs_config(args: argparse.Namespace):
+    profile = bool(getattr(args, "profile", False))
+    if (args.trace_out is None and args.metrics_out is None
+            and args.sample_interval is None and not profile):
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(trace_path=args.trace_out, metrics_path=args.metrics_out,
+                     sample_interval_s=args.sample_interval, profile=profile)
+
+
+def _package_version() -> str:
+    """Installed package version, falling back to pyproject.toml for
+    source checkouts run via ``PYTHONPATH=src``."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(r'^version\s*=\s*"([^"]+)"',
+                          pyproject.read_text(encoding="utf-8"), re.MULTILINE)
+    except OSError:
+        return "unknown"
+    return match.group(1) if match else "unknown"
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
@@ -95,11 +151,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = ExperimentConfig(workload=_workload_config(args))
     fileset, trace = config.generate()
     policy = make_policy(args.policy)
+    obs = _obs_config(args)
     result = run_simulation(policy, fileset, trace, n_disks=args.disks,
                             disk_params=config.disk_params,
-                            faults=_faults_config(args))
+                            faults=_faults_config(args), obs=obs)
 
     print(format_table([result.summary_row()], title=f"{args.policy} on {args.disks} disks"))
+    if obs is not None:
+        if obs.trace_path is not None:
+            print(f"wrote trace -> {obs.trace_path}")
+        if obs.metrics_path is not None:
+            print(f"wrote time-series -> {obs.metrics_path}")
+    if result.profile is not None:
+        print()
+        print(format_table([h.summary_row() for h in result.profile.handlers],
+                           title=f"event-loop profile "
+                                 f"({result.profile.events_per_sec:.3g} events/s)"))
     if result.faults is not None:
         f = result.faults
         print()
@@ -129,11 +196,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_series
     from repro.experiments.runner import ExperimentConfig
 
+    if args.verbose:
+        from repro.obs import setup_logging
+
+        setup_logging()
     config = ExperimentConfig(workload=_workload_config(args))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
+    obs = _obs_config(args)
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              faults=_faults_config(args), jobs=args.jobs)
+                              faults=_faults_config(args), obs=obs,
+                              jobs=args.jobs)
+    if obs is not None and (obs.trace_path or obs.metrics_path):
+        print("telemetry written per cell "
+              "(paths suffixed with -<policy>-<disks>)")
 
     x = np.array(fig7.disk_counts, dtype=float)
     print(format_series(x, fig7.series("afr"), x_label="disks",
@@ -216,6 +292,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_markdown_report
     from repro.experiments.runner import ExperimentConfig
 
+    if args.verbose:
+        from repro.obs import setup_logging
+
+        setup_logging()
     config = ExperimentConfig(workload=_workload_config(args))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
@@ -224,6 +304,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     path = write_markdown_report(fig7, args.out, baseline=args.baseline or None)
     print(f"wrote report -> {path}")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, summarize_trace
+
+    if args.obs_command == "summarize":
+        summary = summarize_trace(args.path)
+        print(format_summary(summary, source=args.path))
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -282,6 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PRESS + READ disk-array energy/reliability toolkit "
                     "(reproduction of Xie & Sun, IPPS 2008)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sim = sub.add_parser("simulate", help="run one policy over a synthetic workload")
@@ -290,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--per-disk", action="store_true",
                        help="also print per-disk ESRRA factors")
     _add_faults_arg(p_sim)
+    _add_obs_args(p_sim, profile=True)
     _add_workload_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -302,7 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="policy to compute improvements for ('' = none)")
     p_cmp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (1 = in-process serial)")
+    p_cmp.add_argument("--verbose", action="store_true",
+                       help="log per-cell sweep progress to stderr")
     _add_faults_arg(p_cmp)
+    _add_obs_args(p_cmp)
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -333,6 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--baseline", default="read")
     p_rep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (1 = in-process serial)")
+    p_rep.add_argument("--verbose", action="store_true",
+                       help="log per-cell sweep progress to stderr")
     _add_faults_arg(p_rep)
     _add_workload_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
@@ -356,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
     t_conv.add_argument("--max-records", type=int, default=None)
     t_conv.set_defaults(func=_cmd_trace)
 
+    p_obs = sub.add_parser("obs", help="inspect telemetry artifacts")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    o_sum = obs_sub.add_parser("summarize",
+                               help="per-disk / per-event-type rollup of a "
+                                    "JSONL event trace")
+    o_sum.add_argument("path", help="trace JSONL path")
+    o_sum.set_defaults(func=_cmd_obs)
+
     return parser
 
 
@@ -370,6 +476,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ValueError, FileNotFoundError, CellExecutionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream consumer (e.g. `| head`) closed stdout mid-print;
+        # exit quietly with the conventional SIGPIPE code
+        sys.stderr.close()
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.disk.drive import Job, QueueDiscipline, TwoSpeedDrive
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
+from repro.obs import events as ev
 from repro.sim.engine import Simulator
 from repro.util.validation import require
 from repro.workload.files import FileSet
@@ -50,6 +51,7 @@ class DiskArray:
                  queue_discipline: QueueDiscipline = QueueDiscipline.FCFS) -> None:
         require(n_disks >= 1, f"n_disks must be >= 1, got {n_disks}")
         self.sim = sim
+        self._trace = sim.trace
         self.params = params
         self.fileset = fileset
         self.drives = [
@@ -240,6 +242,9 @@ class DiskArray:
         self._placement_py[file_id] = dst_disk
         self._used_mb[src] -= size
         self._used_mb[dst_disk] += size
+        if self._trace is not None:
+            self._trace.emit(ev.POLICY_MIGRATE, self.sim.now, file=file_id,
+                             src=src, dst=dst_disk, size_mb=size)
 
         def _after_read(_job: Job) -> None:
             if _job.failed:

@@ -39,6 +39,7 @@ from repro.disk.energy import DiskPowerState, EnergyMeter
 from repro.disk.parameters import AMBIENT_TEMPERATURE_C, DiskSpeed, TwoSpeedDiskParams
 from repro.disk.stats import DiskStats
 from repro.disk.thermal import ThermalModel
+from repro.obs import events as ev
 from repro.sim.engine import EventHandle, Simulator
 from repro.util.validation import require_positive
 from repro.workload.request import Request
@@ -155,6 +156,9 @@ class TwoSpeedDrive:
                  on_idle: Optional[Callable[[int], None]] = None,
                  on_busy: Optional[Callable[[int], None]] = None) -> None:
         self._sim = sim
+        # Cached trace-bus reference: None on the default path, so every
+        # emission site is a single attribute load + is-None branch.
+        self._trace = sim.trace
         self.params = params
         self.disk_id = disk_id
         self.queue_discipline = queue_discipline
@@ -326,7 +330,14 @@ class TwoSpeedDrive:
         ``on_complete`` fires with ``job.failed`` set) instead of queueing
         work that could never be served.
         """
-        job.enqueue_time = self._sim.now
+        now = self._sim.now
+        job.enqueue_time = now
+        trace = self._trace
+        if trace is not None:
+            request = job.request
+            trace.emit(ev.REQUEST_SUBMIT, now, disk=self.disk_id,
+                       size_mb=job.size_mb, internal=job.internal,
+                       file=request.file_id if request is not None else None)
         phase = self._phase
         if phase is DrivePhase.IDLE:
             self._queue.append(job)
@@ -336,6 +347,9 @@ class TwoSpeedDrive:
             return
         if phase is DrivePhase.FAILED:
             job.failed = True
+            if trace is not None:
+                trace.emit(ev.REQUEST_FAIL, now, disk=self.disk_id,
+                           internal=job.internal, reason="submitted_to_failed_disk")
             if job.on_complete is not None:
                 job.on_complete(job)
             return
@@ -399,6 +413,11 @@ class TwoSpeedDrive:
         self._transition_target = target
         self._pending_target = None
         self.stats.record_transition(self._sim.now)
+        if self._trace is not None:
+            self._trace.emit(ev.DISK_TRANSITION_BEGIN, self._sim.now,
+                             disk=self.disk_id,
+                             **{"from": self._speed.name.lower(),
+                                "to": target.name.lower()})
         self._transition_event = self._sim.schedule(
             self.params.transition_time_s, self._end_transition,
             priority=self._PRIO_TRANSITION)
@@ -411,6 +430,9 @@ class TwoSpeedDrive:
         self._refresh_speed_cache()
         self._transition_target = None
         self._phase = DrivePhase.IDLE
+        if self._trace is not None:
+            self._trace.emit(ev.DISK_TRANSITION_END, self._sim.now,
+                             disk=self.disk_id, speed=self._speed.name.lower())
         if self._pending_target is not None and self._pending_target is not self._speed:
             target, self._pending_target = self._pending_target, None
             self._begin_transition(target)
@@ -449,8 +471,12 @@ class TwoSpeedDrive:
         self._phase = DrivePhase.FAILED
         self._transition_target = None
         self._pending_target = None
+        trace = self._trace
         for job in dropped:
             job.failed = True
+            if trace is not None:
+                trace.emit(ev.REQUEST_FAIL, self._sim.now, disk=self.disk_id,
+                           internal=job.internal, reason="disk_failed")
             if job.on_complete is not None:
                 job.on_complete(job)
         return dropped
@@ -471,6 +497,9 @@ class TwoSpeedDrive:
         self._phase = DrivePhase.IDLE
         self._speed = speed
         self._refresh_speed_cache()
+        if self._trace is not None:
+            self._trace.emit(ev.DISK_REPLACE, self._sim.now,
+                             disk=self.disk_id, speed=speed.name.lower())
 
     # ------------------------------------------------------------------
     # service loop
@@ -504,6 +533,10 @@ class TwoSpeedDrive:
             request.served_by = self.disk_id
         # inlined SpeedModeParams.service_time_s via the speed cache
         service_s = self._svc_positioning_s + job.size_mb / self._svc_transfer_mb_s
+        if self._trace is not None:
+            self._trace.emit(ev.REQUEST_DISPATCH, now, disk=self.disk_id,
+                             wait_s=now - job.enqueue_time,
+                             service_s=service_s, internal=job.internal)
         self._completion_event = self._sim.schedule(
             service_s, self._complete, priority=self._PRIO_COMPLETE)
 
@@ -533,6 +566,11 @@ class TwoSpeedDrive:
         if request is not None:
             request.completion_time = now
         self.stats.record_service(job.size_mb, job.internal)
+        if self._trace is not None:
+            self._trace.emit(ev.REQUEST_COMPLETE, now, disk=self.disk_id,
+                             size_mb=job.size_mb,
+                             sojourn_s=now - job.enqueue_time,
+                             internal=job.internal)
         if job.on_complete is not None:
             job.on_complete(job)
         self._dispatch()

@@ -8,8 +8,9 @@ Figure 7 is the trace-driven policy comparison (the expensive sweep).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +18,7 @@ from repro.experiments.metrics import SimulationResult
 from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.runner import ExperimentConfig
 from repro.faults import FaultConfig
+from repro.obs import ObsConfig
 from repro.press.frequency import FrequencyReliability
 from repro.press.model import PRESSModel
 from repro.press.temperature import TemperatureReliability
@@ -99,12 +101,34 @@ class Figure7Results:
                 for name, runs in self.results.items()}
 
 
+def _cell_obs(base: Optional[ObsConfig], policy: str, n_disks: int) -> Optional[ObsConfig]:
+    """Derive one cell's telemetry config from the sweep-wide one.
+
+    Output paths gain a ``-<policy>-<disks>`` stem suffix so every cell
+    writes its own trace/metrics file.
+    """
+    if base is None:
+        return None
+
+    def _suffixed(p: Optional[str]) -> Optional[str]:
+        if p is None:
+            return None
+        path = Path(p)
+        return str(path.with_name(f"{path.stem}-{policy}-{n_disks}{path.suffix}"))
+
+    if base.trace_path is None and base.metrics_path is None:
+        return base
+    return replace(base, trace_path=_suffixed(base.trace_path),
+                   metrics_path=_suffixed(base.metrics_path))
+
+
 def figure7_comparison(config: ExperimentConfig | None = None, *,
                        disk_counts: Sequence[int] = PAPER_DISK_COUNTS,
                        policies: Sequence[str] = PAPER_POLICIES,
                        press: PRESSModel | None = None,
                        policy_kwargs: dict[str, dict] | None = None,
                        faults: FaultConfig | None = None,
+                       obs: ObsConfig | None = None,
                        jobs: int = 1) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
@@ -114,13 +138,17 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     cells over a process pool; results are identical for any value.
     ``faults`` turns on in-run fault injection for every cell, adding
     realized-reliability metrics next to the paper's three.
+    ``obs`` enables telemetry per cell; any output paths it names are
+    suffixed with the cell's ``<policy>-<disks>`` so parallel cells
+    never write to the same file.
     """
     cfg = config or ExperimentConfig()
     kwargs = policy_kwargs or {}
     specs = [
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=kwargs.get(name, {}),
-                disk_params=cfg.disk_params, press=press, faults=faults)
+                disk_params=cfg.disk_params, press=press, faults=faults,
+                obs=_cell_obs(obs, name, n))
         for name in policies for n in disk_counts
     ]
     cells = run_cells(specs, jobs=jobs)

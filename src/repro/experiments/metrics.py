@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.disk.drive import Job
 from repro.faults.metrics import FaultSummary
+from repro.obs.profiler import ProfileSummary
+from repro.obs.sampler import TimeSeries
 from repro.press.model import DiskFactors
 from repro.util.validation import require
 
@@ -128,11 +130,29 @@ class SimulationResult:
     policy_detail: dict[str, object] = field(default_factory=dict)
     #: Realized-reliability outcome; ``None`` when fault injection is off.
     faults: FaultSummary | None = None
+    #: Kernel events the run executed (0 for results predating telemetry).
+    events_executed: int = 0
+    #: Wall-clock seconds the run took (0.0 for legacy results).
+    #: Measurement noise, not simulation output — excluded from equality
+    #: so serial/parallel sweeps still compare bit-for-bit.
+    wall_clock_s: float = field(default=0.0, compare=False)
+    #: Per-disk sampled telemetry; ``None`` unless sampling was enabled.
+    timeseries: TimeSeries | None = None
+    #: Kernel profiling summary; ``None`` unless profiling was enabled
+    #: (wall timings inside, so excluded from equality like wall_clock_s).
+    profile: ProfileSummary | None = field(default=None, compare=False)
 
     @property
     def energy_kwh(self) -> float:
         """Total energy in kWh (for the cost model)."""
         return self.total_energy_j / 3.6e6
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulation throughput (kernel events per wall-clock second)."""
+        if self.wall_clock_s <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_clock_s
 
     @property
     def worst_disk(self) -> DiskFactors:
@@ -149,6 +169,9 @@ class SimulationResult:
             "mean_resp_ms": round(self.mean_response_s * 1e3, 2),
             "p95_resp_ms": round(self.p95_response_s * 1e3, 2),
             "transitions": self.total_transitions,
+            "events": self.events_executed,
+            "wall_s": round(self.wall_clock_s, 2),
+            "events_per_s": round(self.events_per_sec),
         }
         if self.faults is not None:
             row.update(self.faults.summary_row())

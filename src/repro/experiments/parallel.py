@@ -34,12 +34,18 @@ from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
 from repro.experiments.metrics import SimulationResult
 from repro.experiments.runner import make_policy, run_simulation
 from repro.faults import FaultConfig
+from repro.obs import ObsConfig
+from repro.obs.log import get_logger
 from repro.press.model import PRESSModel
 from repro.util.validation import require
 from repro.workload.cache import cached_generate, workload_key
 from repro.workload.synthetic import SyntheticWorkloadConfig
 
 __all__ = ["CellExecutionError", "RunSpec", "run_cell", "run_cells"]
+
+#: Sweep progress channel; silent unless the embedding application (or
+#: the CLI via ``setup_logging``) installs a handler on ``repro``.
+_log = get_logger("sweep")
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,13 @@ class RunSpec:
         config is frozen plain data and the resulting
         :class:`~repro.faults.FaultSummary` is picklable, so fault cells
         fan out over the process pool like any other.
+    obs:
+        Telemetry configuration (``None`` = everything off).  Frozen
+        plain data; the cell materializes its own bus/sampler/profiler,
+        and the resulting time-series/profile summaries are picklable
+        tuples, so telemetry survives the pool boundary.  File-writing
+        options (``trace_path``/``metrics_path``) make sense only on
+        single-cell specs — parallel cells would race on one path.
     """
 
     policy: str
@@ -78,6 +91,7 @@ class RunSpec:
     initial_speed: DiskSpeed = DiskSpeed.HIGH
     queue_discipline: QueueDiscipline = QueueDiscipline.FCFS
     faults: Optional[FaultConfig] = None
+    obs: Optional[ObsConfig] = None
 
     def label(self) -> str:
         """Compact human-readable cell name for errors and progress."""
@@ -103,7 +117,7 @@ def run_cell(spec: RunSpec) -> SimulationResult:
                           disk_params=spec.disk_params, press=spec.press,
                           initial_speed=spec.initial_speed,
                           queue_discipline=spec.queue_discipline,
-                          faults=spec.faults)
+                          faults=spec.faults, obs=spec.obs)
 
 
 def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResult]:
@@ -118,13 +132,17 @@ def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResu
     for i, spec in enumerate(spec_list):
         require(isinstance(spec, RunSpec), f"specs[{i}] is not a RunSpec: {spec!r}")
 
-    if jobs == 1 or len(spec_list) <= 1:
+    total = len(spec_list)
+    if jobs == 1 or total <= 1:
         results = []
-        for spec in spec_list:
+        for i, spec in enumerate(spec_list, start=1):
+            _log.info("cell %d/%d started: %s", i, total, spec.label())
             try:
                 results.append(run_cell(spec))
             except Exception as exc:
                 raise CellExecutionError(spec, exc) from exc
+            _log.info("cell %d/%d finished: %s (%.2fs)",
+                      i, total, spec.label(), results[-1].wall_clock_s)
         return results
 
     # Materialize every distinct workload once in the parent: under the
@@ -135,11 +153,16 @@ def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResu
 
     with ProcessPoolExecutor(max_workers=jobs,
                              mp_context=multiprocessing.get_context()) as pool:
-        futures = [pool.submit(run_cell, spec) for spec in spec_list]
+        futures = []
+        for i, spec in enumerate(spec_list, start=1):
+            _log.info("cell %d/%d started: %s", i, total, spec.label())
+            futures.append(pool.submit(run_cell, spec))
         results = []
-        for spec, future in zip(spec_list, futures):
+        for i, (spec, future) in enumerate(zip(spec_list, futures), start=1):
             try:
                 results.append(future.result())
             except Exception as exc:
                 raise CellExecutionError(spec, exc) from exc
+            _log.info("cell %d/%d finished: %s (%.2fs)",
+                      i, total, spec.label(), results[-1].wall_clock_s)
     return results

@@ -58,6 +58,25 @@ def _faults_section(fig7: Figure7Results) -> str:
             + _md_table(header, rows))
 
 
+def _runtime_section(fig7: Figure7Results) -> str:
+    """Simulation runtime table (events, wall clock, throughput).
+
+    Skipped entirely for result sets predating the telemetry fields
+    (``events_executed == 0`` everywhere).
+    """
+    if not any(r.events_executed
+               for runs in fig7.results.values() for r in runs):
+        return ""
+    header = ["policy", "disks", "events", "wall s", "events/s"]
+    rows = []
+    for policy, runs in fig7.results.items():
+        for n, result in zip(fig7.disk_counts, runs):
+            rows.append([policy, str(n), str(result.events_executed),
+                         f"{result.wall_clock_s:.2f}",
+                         f"{result.events_per_sec:.3g}"])
+    return "### Simulation runtime\n\n" + _md_table(header, rows)
+
+
 def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy comparison",
                            baseline: str | None = "read",
                            assumptions: CostAssumptions | None = None) -> str:
@@ -85,6 +104,11 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
     fault_section = _faults_section(fig7)
     if fault_section:
         parts.append(fault_section)
+        parts.append("")
+
+    runtime_section = _runtime_section(fig7)
+    if runtime_section:
+        parts.append(runtime_section)
         parts.append("")
 
     if baseline and baseline in fig7.results and len(policies) > 1:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
+from time import perf_counter
 from typing import Callable
 
 from repro.core.extensions import (
@@ -33,6 +34,16 @@ from repro.disk.drive import QueueDiscipline
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams, cheetah_two_speed
 from repro.experiments.metrics import RequestMetrics, SimulationResult
 from repro.faults import FaultConfig, FaultInjector
+from repro.obs import (
+    DiskSampler,
+    JsonlTraceWriter,
+    KernelProfiler,
+    MetricsRegistry,
+    ObsConfig,
+    TraceBus,
+    write_timeseries,
+)
+from repro.obs import events as obs_events
 from repro.policies.base import Policy
 from repro.policies.maid import MAIDConfig, MAIDPolicy
 from repro.policies.drpm import DRPMConfig, DRPMPolicy
@@ -134,7 +145,8 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
                    press: PRESSModel | None = None,
                    initial_speed: DiskSpeed = DiskSpeed.HIGH,
                    queue_discipline: QueueDiscipline = QueueDiscipline.FCFS,
-                   faults: FaultConfig | None = None) -> SimulationResult:
+                   faults: FaultConfig | None = None,
+                   obs: ObsConfig | None = None) -> SimulationResult:
     """Run one policy over one trace on an ``n_disks`` array.
 
     The same (fileset, trace) pair should be passed to every competing
@@ -144,14 +156,40 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     ``faults`` enables in-simulation fault injection (see
     :mod:`repro.faults`); ``None`` keeps the fault-free fast path, whose
     results are bit-identical to runs predating the fault subsystem.
+
+    ``obs`` enables the telemetry layer (see :mod:`repro.obs`): event
+    tracing to JSONL, periodic per-disk sampling, and kernel profiling.
+    ``None`` (and the all-off ``ObsConfig()``) attach nothing, keeping
+    the hot path and the results bit-identical to an untraced run.
     """
     require(len(trace) >= 1, "trace must contain at least one request")
     params = disk_params if disk_params is not None else _default_disk_params()
     model = press if press is not None else _default_press()
 
     sim = Simulator()
+    # Telemetry attaches before anything observes sim.trace: drives cache
+    # the bus at construction, policies at bind, the injector at init.
+    bus: TraceBus | None = None
+    writer: JsonlTraceWriter | None = None
+    profiler: KernelProfiler | None = None
+    if obs is not None:
+        if obs.trace_path is not None:
+            bus = TraceBus()
+            writer = JsonlTraceWriter(obs.trace_path)
+            bus.subscribe(writer)
+            sim.trace = bus
+        if obs.profile:
+            profiler = KernelProfiler()
+            sim.set_profiler(profiler)
     array = DiskArray(sim, params, n_disks, fileset, initial_speed=initial_speed,
                       queue_discipline=queue_discipline)
+    registry: MetricsRegistry | None = None
+    sampler: DiskSampler | None = None
+    if obs is not None and obs.wants_sampler:
+        registry = MetricsRegistry()
+        sampler = DiskSampler(sim, array, obs.effective_sample_interval_s,
+                              registry=registry)
+        sampler.install()
     metrics = RequestMetrics(expected=len(trace), on_all_done=sim.request_stop)
 
     policy.bind(sim, array, fileset)
@@ -189,11 +227,17 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
 
     schedule_at(times[0], dispatch_next, priority=-1)
 
+    if bus is not None:
+        bus.emit(obs_events.ENGINE_START, sim.now, policy=policy.name,
+                 n_disks=n_disks, n_requests=n)
+
     # Run until every user request has completed: the metrics object
     # stops the kernel from inside the last completion callback.
     # Policies' periodic tasks keep the queue non-empty, so completion —
     # not queue exhaustion — is the intended stop condition.
+    wall_start = perf_counter()
     sim.run_until_drained()
+    wall_clock_s = perf_counter() - wall_start
     if not metrics.all_done:
         raise RuntimeError(
             f"event queue drained with {metrics.completed}/{n} requests done"
@@ -204,6 +248,20 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         injector.shutdown()
     policy.shutdown()
     array.finalize()
+
+    timeseries = None
+    if sampler is not None:
+        sampler.sample_now()  # close the series with the final state
+        sampler.shutdown()
+        timeseries = sampler.series()
+        if obs is not None and obs.metrics_path is not None:
+            write_timeseries(timeseries, obs.metrics_path)
+    if bus is not None:
+        bus.emit(obs_events.ENGINE_STOP, duration,
+                 events=sim.events_executed, duration_s=duration)
+    if writer is not None:
+        writer.close()
+    profile = profiler.summary(wall_clock_s=wall_clock_s) if profiler is not None else None
 
     afr, factors = model.evaluate_array(array, duration)
     breakdown: dict[str, float] = {}
@@ -232,4 +290,8 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         policy_detail=policy.describe(),
         faults=(None if injector is None else
                 injector.tracker.summarize(n_disks=n_disks, duration_s=duration)),
+        events_executed=sim.events_executed,
+        wall_clock_s=wall_clock_s,
+        timeseries=timeseries,
+        profile=profile,
     )

@@ -50,6 +50,7 @@ from repro.disk.drive import Job
 from repro.experiments.failures import annual_failure_rate_to_rate
 from repro.faults.config import FaultConfig
 from repro.faults.metrics import FaultTracker
+from repro.obs import events as ev
 from repro.policies.base import Policy
 from repro.press.model import PRESSModel
 from repro.sim.engine import EventHandle, Simulator
@@ -88,6 +89,7 @@ class FaultInjector:
                  on_success: Callable[[Job], None],
                  on_permanent_failure: Callable[[Job], None]) -> None:
         self._sim = sim
+        self._trace = sim.trace
         self._array = array
         self._policy = policy
         self._press = press
@@ -185,10 +187,16 @@ class FaultInjector:
         if lost:
             self.tracker.data_loss_events += 1
             self.tracker.files_lost += lost
+            if self._trace is not None:
+                self._trace.emit(ev.FAULT_DATA_LOSS, now, disk=disk_id,
+                                 files_lost=lost)
 
         # dropping jobs fires their on_complete callbacks (failed=True),
         # which re-enter through on_user_job_complete and schedule retries
-        self._array.fail_disk(disk_id)
+        dropped = self._array.fail_disk(disk_id)
+        if self._trace is not None:
+            self._trace.emit(ev.FAULT_INJECT, now, disk=disk_id,
+                             dropped_jobs=len(dropped))
         self._policy.on_disk_failed(disk_id)
         self._pending_rebuild[disk_id] = self._sim.schedule(
             self.config.repair_delay_s,
@@ -200,6 +208,9 @@ class FaultInjector:
         self._lifecycle[disk_id] = DiskLifecycle.REBUILDING
         self._array.replace_disk(disk_id)
         size_mb = float(self._array.used_mb[disk_id])
+        if self._trace is not None:
+            self._trace.emit(ev.FAULT_REBUILD_START, self._sim.now,
+                             disk=disk_id, size_mb=size_mb)
         if size_mb <= 0.0:
             self._finish_rebuild(disk_id, rebuild_job=None)
             return
@@ -229,6 +240,9 @@ class FaultInjector:
                 duration * drive.params.mode(drive.speed).active_w)
         self._lifecycle[disk_id] = DiskLifecycle.UP
         self.tracker.record_restored(disk_id, self._sim.now)
+        if self._trace is not None:
+            self._trace.emit(ev.FAULT_REBUILD_COMPLETE, self._sim.now,
+                             disk=disk_id)
         # fresh spindle, fresh budget; hazard restarts from zero
         self._budget[disk_id] = float(self._rngs[disk_id].exponential())
         self._hazard[disk_id] = 0.0
@@ -250,6 +264,10 @@ class FaultInjector:
         for alt in self._policy.alternate_targets(request.file_id):
             if alt != target and not array.drives[alt].is_failed:
                 self.tracker.requests_redirected += 1
+                if self._trace is not None:
+                    self._trace.emit(ev.REQUEST_REDIRECT, self._sim.now,
+                                     file=request.file_id,
+                                     **{"from": target, "to": alt})
                 return array.submit_request(request, disk_id=alt,
                                             on_complete=self.on_user_job_complete)
         # an explicit non-primary target (cache disk, replica) that died
@@ -257,12 +275,19 @@ class FaultInjector:
         primary = array.location_of(request.file_id)
         if primary != target and not array.drives[primary].is_failed:
             self.tracker.requests_redirected += 1
+            if self._trace is not None:
+                self._trace.emit(ev.REQUEST_REDIRECT, self._sim.now,
+                                 file=request.file_id,
+                                 **{"from": target, "to": primary})
             return array.submit_request(request, disk_id=primary,
                                         on_complete=self.on_user_job_complete)
         # no live copy: synthesize the failed job so the retry/permanent
         # paths are uniform with a mid-service disk death
         job = Job.for_request(request, on_complete=self.on_user_job_complete)
         job.failed = True
+        if self._trace is not None:
+            self._trace.emit(ev.REQUEST_FAIL, self._sim.now, disk=target,
+                             internal=False, reason="no_live_copy")
         self.on_user_job_complete(job)
         return job
 
@@ -277,6 +302,9 @@ class FaultInjector:
                 and now - request.arrival_time < self.config.retry_timeout_s):
             request.retries += 1
             self.tracker.requests_retried += 1
+            if self._trace is not None:
+                self._trace.emit(ev.REQUEST_RETRY, now,
+                                 file=request.file_id, attempt=request.retries)
             # re-enter through the policy's router (not a bare resubmit)
             # so striped fan-out, cache bookkeeping, and spin-up checks
             # all apply to the retry as they would to a fresh arrival

@@ -1,0 +1,143 @@
+"""Exporters: JSONL event traces and CSV/JSON time-series files.
+
+Byte-determinism contract: everything written here is a pure function
+of the simulation's seeded state — no wall-clock timestamps, no object
+ids, keys sorted, floats via ``repr`` (shortest round-trip) — so two
+runs of the same configuration produce byte-identical files.  The
+acceptance tests diff whole files on this guarantee.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.obs.events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sampler import TimeSeries
+
+__all__ = ["JsonlTraceWriter", "event_to_json", "read_trace",
+           "write_timeseries", "timeseries_to_csv_text", "write_metrics_json"]
+
+PathLike = Union[str, Path]
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """One event as a canonical single-line JSON record.
+
+    ``seq``/``t``/``type`` lead, payload fields follow sorted — compact
+    separators, no whitespace variance, deterministic bytes.
+    """
+    record = {"seq": event.seq, "t": event.time, "type": event.type}
+    for key in sorted(event.data):
+        record[key] = event.data[key]
+    return json.dumps(record, separators=(",", ":"), allow_nan=True)
+
+
+class JsonlTraceWriter:
+    """Bus subscriber streaming events to a JSONL file.
+
+    Usable as a context manager; always :meth:`close` (or exit the
+    ``with`` block) before reading the file — lines are buffered.
+
+    Examples
+    --------
+    >>> bus = TraceBus(); writer = JsonlTraceWriter(path)   # doctest: +SKIP
+    >>> bus.subscribe(writer)                               # doctest: +SKIP
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: io.TextIOWrapper | None = self.path.open(
+            "w", encoding="utf-8", newline="\n")
+        self.events_written = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        """The subscriber interface: serialize and buffer one event."""
+        if self._file is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        self._file.write(event_to_json(event))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_trace(path: PathLike) -> list[dict]:
+    """Load a JSONL trace back into a list of dict records.
+
+    Raises :class:`ValueError` naming the offending line on corrupt
+    input, so CLI consumers get an actionable message instead of a raw
+    ``JSONDecodeError``.
+    """
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON trace record: {exc}") from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: trace record missing 'type' field")
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# time-series
+# ----------------------------------------------------------------------
+def timeseries_to_csv_text(series: "TimeSeries") -> str:
+    """Render a :class:`~repro.obs.sampler.TimeSeries` as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(series.columns)
+    for row in series.rows:
+        writer.writerow([repr(v) if isinstance(v, float) else v for v in row])
+    return buf.getvalue()
+
+
+def write_timeseries(series: "TimeSeries", path: PathLike) -> Path:
+    """Write a time-series to ``path``: ``.json`` gets a structured JSON
+    document, anything else (canonically ``.csv``) gets CSV."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if target.suffix.lower() == ".json":
+        doc = {"interval_s": series.interval_s,
+               "columns": list(series.columns),
+               "rows": [list(row) for row in series.rows]}
+        target.write_text(json.dumps(doc, separators=(",", ":")) + "\n",
+                          encoding="utf-8")
+    else:
+        target.write_text(timeseries_to_csv_text(series), encoding="utf-8")
+    return target
+
+
+def write_metrics_json(registry: "MetricsRegistry", path: PathLike) -> Path:
+    """Dump a metrics registry as deterministic, indented JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return target

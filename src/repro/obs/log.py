@@ -1,0 +1,57 @@
+"""Logging setup for the library's progress/diagnostic channel.
+
+Library modules log through child loggers of the ``repro`` root logger
+(``repro.sweep`` for per-cell sweep progress, ``repro.obs`` for
+exporter diagnostics).  Per library convention the root ``repro``
+logger carries a ``NullHandler`` — embedding applications hear nothing
+unless they opt in — and :func:`setup_logging` is the CLI's opt-in:
+one stderr handler with a terse time-less format (CLI output must stay
+deterministic-ish and diffable).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["get_logger", "setup_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attached to handlers installed by :func:`setup_logging`, so
+#: repeated calls reconfigure instead of stacking duplicate handlers.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the ``repro`` namespace.
+
+    ``get_logger("sweep")`` and ``get_logger("repro.sweep")`` name the
+    same logger.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def setup_logging(level: int = logging.INFO, *,
+                  stream: Optional[TextIO] = None) -> logging.Logger:
+    """Route ``repro.*`` log records to ``stream`` (default stderr).
+
+    Idempotent: calling again replaces the previously installed handler
+    (and its level) instead of adding another one.  Returns the root
+    ``repro`` logger so callers can tweak further.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,185 @@
+"""Instrument primitives: counters, gauges, and histograms in a registry.
+
+The shapes follow the de-facto telemetry vocabulary (Prometheus/
+OpenMetrics): a *counter* only goes up, a *gauge* is a set-to-value
+sample, a *histogram* buckets observations against fixed upper bounds.
+All three are plain Python accumulators — the simulator is single-
+threaded per run, so there is no locking, and ``as_dict()`` freezes a
+registry into JSON-ready plain data for export and for crossing the
+process-pool boundary.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.util.validation import require
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS_S"]
+
+#: Log-spaced service/latency bucket bounds (seconds): 100 us .. 100 s.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1,
+    1.0, 3.16, 10.0, 31.6, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if not (amount >= 0.0):
+            raise ValueError(f"counter increment must be >= 0, got {amount!r}")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def as_dict(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with exact count/sum/min/max.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; one
+    overflow bucket at the end takes everything larger (the implicit
+    ``+Inf`` bound), so ``sum(bucket_counts) == count`` always.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S) -> None:
+        require(len(bounds) >= 1, "histogram needs at least one bucket bound")
+        require(all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:])),
+                "histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate: the upper bound of the
+        bucket containing the ``q``-th observation (``inf`` when it lands
+        in the overflow bucket, NaN when empty)."""
+        require(0.0 <= q <= 1.0, f"q must be in [0, 1], got {q!r}")
+        if not self.count:
+            return math.nan
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "type": "histogram", "count": self.count, "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store (one per observed simulation).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling twice
+    with the same name returns the same instrument, so emission sites
+    never coordinate.  Re-registering a name as a *different* kind is a
+    bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+            return instrument
+        require(type(instrument) is kind,
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S) -> Histogram:
+        """Get or create the histogram ``name`` (bounds fixed at creation)."""
+        return self._get_or_create(name, Histogram, bounds)
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Freeze every instrument into JSON-ready plain data (sorted
+        by name, so serialization is deterministic)."""
+        return {name: self._instruments[name].as_dict()
+                for name in sorted(self._instruments)}

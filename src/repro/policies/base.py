@@ -23,6 +23,7 @@ from typing import Callable, Optional, Protocol
 from repro.disk.array import DiskArray
 from repro.disk.drive import Job
 from repro.disk.parameters import DiskSpeed
+from repro.obs import events as ev
 from repro.sim.engine import Simulator
 from repro.sim.timers import ResettableTimer
 from repro.util.units import SECONDS_PER_DAY
@@ -141,6 +142,7 @@ class SpeedController:
                  eligible: Callable[[int], bool] = lambda _d: True,
                  budget: Optional[TransitionBudget] = None) -> None:
         self._sim = sim
+        self._trace = sim.trace
         self._array = array
         #: drives indexed by disk id — the idle/busy hooks fire on every
         #: queue-drain/first-arrival edge, so skip the array.drive() hop
@@ -176,6 +178,8 @@ class SpeedController:
             return
         if self._budget is not None and not self._budget.spend(disk_id):
             return
+        if self._trace is not None:
+            self._trace.emit(ev.POLICY_SPIN_DOWN, self._sim.now, disk=disk_id)
         drive.request_speed(DiskSpeed.LOW)
 
     def check_spin_up(self, disk_id: int, *, incoming_jobs: int = 1) -> None:
@@ -198,6 +202,9 @@ class SpeedController:
                 or drive.estimated_wait_s() > self.config.spin_up_wait_s):
             if self._budget is not None and not self._budget.spend(disk_id):
                 return
+            if self._trace is not None:
+                self._trace.emit(ev.POLICY_SPIN_UP, self._sim.now,
+                                 disk=disk_id, backlog=backlog)
             drive.request_speed(DiskSpeed.HIGH)
 
     def shutdown(self) -> None:
@@ -238,11 +245,15 @@ class Policy(abc.ABC):
         #: injection is active; ``None`` (the default) keeps the fast
         #: direct-submit path and today's bit-identical behaviour.
         self.fault_domain: Optional["FaultDomain"] = None
+        #: Trace bus cached at :meth:`bind` time; ``None`` keeps every
+        #: policy emission site a dead branch.
+        self.trace = None
 
     # ------------------------------------------------------------------
     def bind(self, sim: Simulator, array: DiskArray, fileset: FileSet) -> None:
         """Attach the policy to a simulation; installs idle/busy hooks."""
         self.sim = sim
+        self.trace = sim.trace
         self.array = array
         self.fileset = fileset
         array.set_idle_handler(self.on_disk_idle)

@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from repro.disk.drive import Job
+from repro.obs import events as ev
 from repro.policies.base import Policy, SpeedControlConfig, SpeedController
 from repro.util.validation import require, require_fraction
 from repro.workload.request import Request
@@ -149,12 +150,18 @@ class MAIDPolicy(Policy):
         cached_on = self._cache.get(fid)
         if cached_on is not None and fid not in self._copying:
             self.cache_hits += 1
+            if self.trace is not None:
+                self.trace.emit(ev.POLICY_CACHE_HIT, self.sim.now,
+                                file=fid, disk=cached_on)
             self._cache.move_to_end(fid)  # LRU refresh
             self.submit(request, disk_id=cached_on)
             return
 
         self.cache_misses += 1
         primary = self.array.location_of(fid)
+        if self.trace is not None:
+            self.trace.emit(ev.POLICY_CACHE_MISS, self.sim.now,
+                            file=fid, disk=primary)
         assert self._controller is not None
         self._controller.check_spin_up(primary)
         job = self.submit(request, disk_id=primary)
@@ -239,6 +246,9 @@ class MAIDPolicy(Policy):
                     self._cache_used_mb[target] -= size
                     return
                 self._cache[fid] = target  # becomes visible (and LRU-newest) now
+                if self.trace is not None:
+                    self.trace.emit(ev.POLICY_CACHE_INSERT, self.sim.now,
+                                    file=fid, disk=target)
 
             self.array.submit_internal(target, size, on_complete=_after_cache_write)
 

@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import events as ev
 from repro.policies.base import Policy, SpeedControlConfig, SpeedController
 from repro.policies.tracking import AccessTracker
 from repro.sim.timers import PeriodicTask
@@ -239,3 +240,6 @@ class PDCPolicy(Policy):
             if self.array.migrate_file(int(fid), int(assignment[fid])):
                 moved += 1
         self.migrations_performed += moved
+        if self.trace is not None:
+            self.trace.emit(ev.POLICY_EPOCH, self.sim.now, tick=_tick,
+                            movers=int(movers.size), moved=moved)

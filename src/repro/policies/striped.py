@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.disk.drive import Job
 from repro.disk.striping import PAPER_STRIPE_UNIT_MB, StripeLayout
+from repro.obs import events as ev
 from repro.policies.base import Policy
 from repro.util.validation import require_positive
 from repro.workload.request import Request
@@ -70,6 +71,9 @@ class StripedStaticPolicy(Policy):
             self.submit(request, disk_id=chunks[0].disk_id)
             return
 
+        if self.trace is not None:
+            self.trace.emit(ev.POLICY_STRIPE_FANOUT, self.sim.now,
+                            file=request.file_id, chunks=len(chunks))
         request.served_by = chunks[0].disk_id
         state = {"remaining": len(chunks), "first_start": float("inf")}
         # a record job for the metrics callback; never submitted itself

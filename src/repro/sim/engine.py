@@ -24,17 +24,44 @@ instead of Python ``__lt__`` calls (``seq`` is unique, so the handle
 element is never compared).  A live-event counter makes
 :attr:`Simulator.pending_count` O(1), and :meth:`Simulator.run` takes a
 branch-free drain loop when neither ``until`` nor ``max_events`` is set.
+
+Observability
+-------------
+The kernel carries two opt-in observation points, both off by default
+and costing nothing while off:
+
+* :attr:`Simulator.trace` — an opaque slot for a
+  :class:`repro.obs.TraceBus`; the kernel never touches it itself
+  (instrumented components read it at construction), it just gives
+  every layer holding the ``Simulator`` one well-known place to find
+  the bus.
+* :meth:`Simulator.set_profiler` — attaches a
+  :class:`repro.obs.KernelProfiler`-shaped object; the unbounded drain
+  then runs a *separate* instrumented loop timing each action by its
+  qualified name.  The uninstrumented ``_drain`` stays byte-for-byte
+  untouched, so profiling-off throughput is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Optional
+from time import perf_counter
+from typing import Any, Callable, Optional, Protocol
 
-__all__ = ["EventHandle", "Simulator", "SimulationError"]
+__all__ = ["EventHandle", "Simulator", "SimulationError", "DispatchProfiler"]
 
 Action = Callable[[], None]
+
+
+class DispatchProfiler(Protocol):
+    """What the kernel needs from a profiler: one call per dispatch.
+
+    Implemented by :class:`repro.obs.KernelProfiler`; declared as a
+    protocol so the kernel never imports the observability layer.
+    """
+
+    def record(self, handler: str, elapsed_s: float) -> None: ...
 
 _INF = math.inf
 
@@ -100,6 +127,11 @@ class Simulator:
         self._events_executed = 0
         self._running = False
         self._stop = False
+        #: Opaque slot for a :class:`repro.obs.TraceBus` (or ``None``).
+        #: Set by the experiment runner before components are built;
+        #: the kernel itself never reads it.
+        self.trace: Optional[Any] = None
+        self._profiler: Optional[DispatchProfiler] = None
 
     # ------------------------------------------------------------------
     # clock
@@ -118,6 +150,28 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1)."""
         return self._live
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def set_profiler(self, profiler: Optional[DispatchProfiler]) -> None:
+        """Attach (or with ``None`` detach) a dispatch profiler.
+
+        While attached, unbounded runs (:meth:`run_until_drained`, or
+        :meth:`run` without bounds) time every action and report it by
+        qualified name; bounded runs are never profiled (they are the
+        debugging path, not the measured path).
+        """
+        if profiler is not None and not callable(getattr(profiler, "record", None)):
+            raise SimulationError(
+                f"profiler must have a record(handler, elapsed_s) method, "
+                f"got {profiler!r}")
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional[DispatchProfiler]:
+        """The attached dispatch profiler, if any."""
+        return self._profiler
 
     # ------------------------------------------------------------------
     # scheduling
@@ -243,7 +297,10 @@ class Simulator:
         self._stop = False
         try:
             if until is None and max_events is None:
-                self._drain()
+                if self._profiler is None:
+                    self._drain()
+                else:
+                    self._drain_profiled()
             else:
                 self._run_bounded(until, max_events)
         finally:
@@ -261,7 +318,10 @@ class Simulator:
         self._running = True
         self._stop = False
         try:
-            self._drain()
+            if self._profiler is None:
+                self._drain()
+            else:
+                self._drain_profiled()
         finally:
             self._running = False
 
@@ -281,6 +341,33 @@ class Simulator:
             self._live -= 1
             self._events_executed += 1
             action()
+
+    def _drain_profiled(self) -> None:
+        # _drain with per-action timing; a separate loop so the
+        # profiling-off path carries zero extra work per event.
+        heap = self._heap
+        pop = heapq.heappop
+        profiler = self._profiler
+        assert profiler is not None
+        record = profiler.record
+        timer = perf_counter
+        while heap and not self._stop:
+            entry = pop(heap)
+            handle = entry[3]
+            action = handle.action
+            if action is None:
+                continue
+            handle.action = None
+            self._now = entry[0]
+            self._live -= 1
+            self._events_executed += 1
+            name = getattr(action, "__qualname__", None)
+            if name is None:  # bound method / partial: name the underlying func
+                name = getattr(getattr(action, "__func__", action),
+                               "__qualname__", repr(action))
+            start = timer()
+            action()
+            record(name, timer() - start)
 
     def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
         heap = self._heap

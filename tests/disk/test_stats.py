@@ -53,6 +53,38 @@ class TestTransitionCounting:
         with pytest.raises(ValueError):
             DiskStats(0).record_transition(-1.0)
 
+    def test_midnight_boundary_belongs_to_the_new_day(self):
+        # t == k * 86400 opens day k: the bucketing is floor(t / day),
+        # so midnight itself is the first instant of the next day.
+        s = DiskStats(0)
+        s.record_transition(SECONDS_PER_DAY)
+        s.record_transition(2 * SECONDS_PER_DAY)
+        assert s.transitions_on_day(0) == 0
+        assert s.transitions_on_day(1) == 1
+        assert s.transitions_on_day(2) == 1
+
+    def test_instant_before_midnight_stays_on_the_old_day(self):
+        s = DiskStats(0)
+        s.record_transition(SECONDS_PER_DAY - 1e-9)
+        assert s.transitions_on_day(0) == 1
+        assert s.transitions_on_day(1) == 0
+
+    def test_time_zero_counts_on_day_zero(self):
+        s = DiskStats(0)
+        s.record_transition(0.0)
+        assert s.transitions_on_day(0) == 1
+
+    def test_sub_day_extrapolation_scales_linearly(self):
+        # 3 transitions in one hour -> 72/day; in one second -> 259200/day.
+        s = DiskStats(0)
+        for t in (0.1, 0.2, 0.3):
+            s.record_transition(t)
+        assert s.transitions_per_day(3600.0) == pytest.approx(72.0)
+        assert s.transitions_per_day(1.0) == pytest.approx(3 * SECONDS_PER_DAY)
+
+    def test_zero_transitions_normalize_to_zero(self):
+        assert DiskStats(0).transitions_per_day(5.0) == 0.0
+
 
 class TestUtilization:
     def test_paper_definition(self):
@@ -69,3 +101,18 @@ class TestUtilization:
     def test_invalid_power_on_time(self):
         with pytest.raises(ValueError):
             DiskStats(0).utilization(1.0, 0.0)
+
+    def test_zero_power_on_time_rejected_even_when_idle(self):
+        # A drive that never powered on has no defined utilization —
+        # 0/0 must raise rather than silently return 0.
+        with pytest.raises(ValueError):
+            DiskStats(0).utilization(0.0, 0.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DiskStats(0).utilization(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            DiskStats(0).utilization(1.0, -100.0)
+
+    def test_tiny_power_on_time_is_valid(self):
+        assert DiskStats(0).utilization(1e-12, 1e-9) == pytest.approx(1e-3)

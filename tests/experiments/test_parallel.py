@@ -74,6 +74,34 @@ class TestValidationAndErrors:
         assert isinstance(excinfo.value.cause, Exception)
 
 
+class TestProgressLogging:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_every_cell_logged_started_and_finished(self, caplog, jobs):
+        import logging
+
+        specs = [RunSpec(policy=policy, n_disks=4, workload=SMALL)
+                 for policy in ("read", "static-high")]
+        with caplog.at_level(logging.INFO, logger="repro.sweep"):
+            run_cells(specs, jobs=jobs)
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name == "repro.sweep"]
+        started = [m for m in messages if "started" in m]
+        finished = [m for m in messages if "finished" in m]
+        assert len(started) == len(finished) == len(specs)
+        assert any("1/2" in m for m in started)
+        assert any("2/2" in m for m in finished)
+        for spec in specs:
+            assert any(spec.label() in m for m in messages)
+
+    def test_silent_without_opt_in(self, capsys):
+        # the repro root logger carries a NullHandler: no handler opt-in,
+        # no output on either stream
+        run_cells([RunSpec(policy="read", n_disks=4, workload=SMALL)], jobs=1)
+        captured = capsys.readouterr()
+        assert "cell" not in captured.out
+        assert "cell" not in captured.err
+
+
 class TestRunSpec:
     def test_is_frozen_and_picklable(self):
         import pickle

@@ -41,9 +41,13 @@ class TestRender:
         md = render_markdown_report(small_fig7)
         # one verdict row per (non-reference policy, size): read x {3, 5}
         verdict_rows = [l for l in md.splitlines()
-                        if l.startswith("| read |")]
+                        if l.startswith("| read |") and "worthwhile" in l]
         assert len(verdict_rows) == 2
-        assert all(("worthwhile" in r) for r in verdict_rows)
+
+    def test_runtime_section_present(self, small_fig7):
+        md = render_markdown_report(small_fig7)
+        assert "### Simulation runtime" in md
+        assert "events/s" in md
 
     def test_markdown_tables_well_formed(self, small_fig7):
         md = render_markdown_report(small_fig7)
@@ -79,5 +83,8 @@ class TestFaultsSection:
         assert "availability %" in md
         assert "data-loss events" in md
         assert "rebuild kJ" in md
-        rows = [l for l in md.splitlines() if l.startswith("| read | 4 |")]
+        # the faults row carries the availability percentage column; the
+        # runtime section's rows for the same cell do not
+        rows = [l for l in md.splitlines()
+                if l.startswith("| read | 4 |") and "91.7" in l]
         assert len(rows) == 1

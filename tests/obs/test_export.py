@@ -1,0 +1,136 @@
+"""Exporters: canonical JSON, JSONL round-trips, byte determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import make_policy, run_simulation
+from repro.obs import events as ev
+from repro.obs.bus import TraceBus
+from repro.obs.config import ObsConfig
+from repro.obs.events import TraceEvent
+from repro.obs.export import (JsonlTraceWriter, event_to_json, read_trace,
+                              timeseries_to_csv_text, write_metrics_json,
+                              write_timeseries)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import SAMPLE_COLUMNS, TimeSeries
+
+
+class TestEventToJson:
+    def test_canonical_layout(self):
+        event = TraceEvent(7, 1.5, ev.REQUEST_SUBMIT,
+                           {"size_mb": 2.0, "disk": 3, "internal": False})
+        line = event_to_json(event)
+        # seq/t/type lead; payload keys sorted; compact separators
+        assert line == ('{"seq":7,"t":1.5,"type":"request.submit",'
+                        '"disk":3,"internal":false,"size_mb":2.0}')
+
+    def test_stable_under_payload_insertion_order(self):
+        a = event_to_json(TraceEvent(0, 0.0, "x", {"b": 1, "a": 2}))
+        b = event_to_json(TraceEvent(0, 0.0, "x", {"a": 2, "b": 1}))
+        assert a == b
+
+
+class TestJsonlTraceWriter:
+    def test_round_trip_through_bus(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = TraceBus()
+        with JsonlTraceWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.emit(ev.ENGINE_START, 0.0, policy="read")
+            bus.emit(ev.REQUEST_SUBMIT, 0.5, disk=0, size_mb=1.0)
+        assert writer.events_written == 2
+        records = read_trace(path)
+        assert [r["type"] for r in records] == [ev.ENGINE_START,
+                                                ev.REQUEST_SUBMIT]
+        assert records[0]["policy"] == "read"
+        assert records[1]["seq"] == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer(TraceEvent(0, 0.0, "x", {}))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTraceWriter(path):
+            pass
+        assert path.exists()
+
+
+class TestReadTrace:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq":0,"t":0.0,"type":"engine.start"}\n\n')
+        assert len(read_trace(path)) == 1
+
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq":0,"t":0.0,"type":"engine.start"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_record_without_type_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq":0}\n')
+        with pytest.raises(ValueError, match="missing 'type'"):
+            read_trace(path)
+
+
+class TestByteDeterminism:
+    def test_same_seed_traces_are_byte_identical(self, small_workload, params,
+                                                 tmp_path):
+        fileset, trace = small_workload
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"run{i}.jsonl"
+            run_simulation(make_policy("maid"), fileset, trace.head(800),
+                           n_disks=4, disk_params=params,
+                           obs=ObsConfig(trace_path=str(path)))
+            paths.append(path)
+        first, second = (p.read_bytes() for p in paths)
+        assert len(first) > 0
+        assert first == second
+
+
+class TestTimeseriesExport:
+    SERIES = TimeSeries(interval_s=5.0, rows=(
+        (0.0, 0, 10.0, 38.0, "high", "active", 2, 100.0),
+        (5.0, 0, 12.5, 38.25, "high", "active", 1, 180.5),
+    ))
+
+    def test_csv_text_header_and_float_repr(self):
+        text = timeseries_to_csv_text(self.SERIES)
+        lines = text.splitlines()
+        assert lines[0] == ",".join(SAMPLE_COLUMNS)
+        assert lines[1].startswith("0.0,0,10.0,38.0,high,active,2,100.0")
+        assert len(lines) == 3
+
+    def test_write_csv(self, tmp_path):
+        target = write_timeseries(self.SERIES, tmp_path / "ts.csv")
+        assert target.read_text() == timeseries_to_csv_text(self.SERIES)
+
+    def test_write_json_document(self, tmp_path):
+        target = write_timeseries(self.SERIES, tmp_path / "ts.json")
+        doc = json.loads(target.read_text())
+        assert doc["interval_s"] == 5.0
+        assert doc["columns"] == list(SAMPLE_COLUMNS)
+        assert doc["rows"][1][7] == 180.5
+
+    def test_csv_writes_are_deterministic(self, tmp_path):
+        a = write_timeseries(self.SERIES, tmp_path / "a.csv").read_bytes()
+        b = write_timeseries(self.SERIES, tmp_path / "b.csv").read_bytes()
+        assert a == b
+
+
+class TestMetricsExport:
+    def test_write_metrics_json_sorted_and_loadable(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("disk0.utilization_pct").set(42.0)
+        reg.counter("sampler.ticks").inc(3)
+        target = write_metrics_json(reg, tmp_path / "metrics.json")
+        doc = json.loads(target.read_text())
+        assert list(doc) == sorted(doc)
+        assert doc["sampler.ticks"]["value"] == 3.0

@@ -1,0 +1,134 @@
+"""Instrument primitives: counters, gauges, histograms, the registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               DEFAULT_LATENCY_BUCKETS_S)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("jobs").inc(-1.0)
+
+    def test_nan_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("jobs").inc(math.nan)
+
+    def test_as_dict(self):
+        c = Counter("jobs")
+        c.inc(4)
+        assert c.as_dict() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_starts_nan_then_last_write_wins(self):
+        g = Gauge("temp")
+        assert math.isnan(g.value)
+        g.set(40.0)
+        g.set(35.5)
+        assert g.value == 35.5
+
+    def test_as_dict(self):
+        g = Gauge("temp")
+        g.set(1)
+        assert g.as_dict() == {"type": "gauge", "value": 1.0}
+
+
+class TestHistogram:
+    def test_bucketing_and_exact_stats(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 50.0):
+            h.observe(v)
+        # <=1.0 gets 0.5 and 1.0; <=10.0 gets 5.0; overflow gets 50.0
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(56.5)
+        assert h.min == 0.5
+        assert h.max == 50.0
+        assert h.mean == pytest.approx(56.5 / 4)
+
+    def test_bucket_counts_always_sum_to_count(self):
+        h = Histogram("lat")
+        for v in (1e-5, 1e-3, 0.2, 7.0, 1e4):
+            h.observe(v)
+        assert sum(h.bucket_counts) == h.count == 5
+
+    def test_quantile_bucket_resolution(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.6, 5.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0       # 2nd of 4 lands in bucket <=1
+        assert h.quantile(1.0) == 100.0
+        assert math.isnan(Histogram("empty").quantile(0.5))
+
+    def test_overflow_quantile_is_inf(self):
+        h = Histogram("lat", bounds=(1.0,))
+        h.observe(2.0)
+        assert h.quantile(1.0) == math.inf
+
+    def test_empty_histogram_stats(self):
+        h = Histogram("lat")
+        assert math.isnan(h.mean)
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_default_bounds_are_the_latency_ladder(self):
+        assert Histogram("lat").bounds == DEFAULT_LATENCY_BUCKETS_S
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_get_without_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        c = reg.counter("present")
+        assert reg.get("present") is c
+        assert len(reg) == 1
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta")
+        reg.counter("alpha")
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.gauge("temp").set(41.0)
+        reg.histogram("lat", bounds=(1.0,)).observe(0.5)
+        d = reg.as_dict()
+        assert list(d) == ["jobs", "lat", "temp"]  # sorted
+        assert d["jobs"] == {"type": "counter", "value": 3.0}
+        assert d["temp"] == {"type": "gauge", "value": 41.0}
+        assert d["lat"]["bucket_counts"] == [1, 0]

@@ -59,6 +59,47 @@ class TestCompare:
         with pytest.raises(ValueError, match="threshold"):
             check_regression.compare(dict(BASELINE), BASELINE, threshold=0.0)
 
+    def test_obs_disabled_cell_is_gated(self):
+        base = dict(BASELINE, cell_obs_off_s=0.4)
+        current = dict(base, cell_obs_off_s=0.6)  # +50%
+        problems = check_regression.compare(current, base)
+        assert len(problems) == 1
+        assert "cell_obs_off_s" in problems[0]
+
+    def test_traced_cell_is_gated(self):
+        base = dict(BASELINE, cell_traced_s=1.5)
+        current = dict(base, cell_traced_s=2.5)  # +67%
+        problems = check_regression.compare(current, base)
+        assert len(problems) == 1
+        assert "cell_traced_s" in problems[0]
+
+
+class TestTracingOverhead:
+    def test_ratio_within_limit_passes(self):
+        current = {"cell_obs_off_s": 0.4, "cell_traced_s": 1.6}  # 4x < 5x
+        assert check_regression.tracing_overhead(current) == []
+
+    def test_ratio_beyond_limit_fails(self):
+        current = {"cell_obs_off_s": 0.4, "cell_traced_s": 2.4}  # 6x
+        problems = check_regression.tracing_overhead(current)
+        assert len(problems) == 1
+        assert "tracing overhead" in problems[0]
+
+    def test_custom_ratio(self):
+        current = {"cell_obs_off_s": 1.0, "cell_traced_s": 2.5}
+        assert check_regression.tracing_overhead(current, max_ratio=2.0)
+        assert not check_regression.tracing_overhead(current, max_ratio=3.0)
+
+    def test_missing_measurements_skip_the_check(self):
+        assert check_regression.tracing_overhead({}) == []
+        assert check_regression.tracing_overhead({"cell_obs_off_s": 0.4}) == []
+        assert check_regression.tracing_overhead(
+            {"cell_obs_off_s": 0.0, "cell_traced_s": 1.0}) == []
+
+    def test_rejects_nonsense_ratio(self):
+        with pytest.raises(ValueError, match="max_ratio"):
+            check_regression.tracing_overhead({}, max_ratio=1.0)
+
 
 class TestCommittedBaseline:
     def test_baseline_file_is_well_formed(self):
@@ -70,6 +111,10 @@ class TestCommittedBaseline:
         seed = data["seed"]
         assert data["kernel_events_per_sec"] >= seed["kernel_events_per_sec"]
         assert data["sweep8_serial_s"] <= seed["sweep8_serial_s"] / 2.0
+        # the telemetry reference cell must itself satisfy the overhead cap
+        assert data["cell_obs_off_s"] > 0
+        assert data["cell_traced_s"] > 0
+        assert check_regression.tracing_overhead(data) == []
 
     def test_baseline_passes_against_itself(self):
         data = json.loads(check_regression.BASELINE_PATH.read_text())

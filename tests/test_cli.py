@@ -24,6 +24,27 @@ class TestParser:
             assert args.policy == name
 
 
+class TestVersion:
+    def test_version_flag_exits_zero_with_a_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # either the installed-dist version or the pyproject fallback;
+        # both are dotted numerics, never the "unknown" last resort here
+        assert out.split()[1][0].isdigit()
+
+    def test_package_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+        from repro.cli import _package_version
+        pyproject = (Path(__file__).resolve().parent.parent / "pyproject.toml")
+        declared = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(),
+                             re.MULTILINE).group(1)
+        assert _package_version() == declared
+
+
 class TestSimulate:
     def test_basic_run(self, capsys):
         rc = main(["simulate", "--policy", "read", "--disks", "4", *SMALL])
@@ -44,6 +65,69 @@ class TestSimulate:
         rc = main(["simulate", "--policy", "read", "--disks", "4",
                    "--heavy", "2", *SMALL])
         assert rc == 0
+
+
+class TestTelemetryFlags:
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--trace-out", str(path), *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert path.stat().st_size > 0
+        assert "wrote trace ->" in out
+
+    def test_simulate_metrics_out_with_interval(self, tmp_path, capsys):
+        path = tmp_path / "ts.csv"
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--metrics-out", str(path), "--sample-interval", "5",
+                   *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert path.read_text().startswith("time_s,disk,")
+        assert "wrote time-series ->" in out
+
+    def test_simulate_profile_prints_handler_table(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--profile", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "event-loop profile" in out
+        assert "handler" in out
+        assert "mean_us" in out
+
+    def test_compare_trace_out_suffixes_per_cell(self, tmp_path, capsys):
+        base = tmp_path / "sweep.jsonl"
+        rc = main(["compare", "--policies", "read,static-high",
+                   "--disks", "4", "--trace-out", str(base), *SMALL])
+        assert rc == 0
+        assert (tmp_path / "sweep-read-4.jsonl").exists()
+        assert (tmp_path / "sweep-static-high-4.jsonl").exists()
+        assert "telemetry written per cell" in capsys.readouterr().out
+
+    def test_obs_summarize_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--policy", "read", "--disks", "4",
+                     "--trace-out", str(path), *SMALL]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per event type" in out
+        assert "per disk" in out
+        assert "request.complete" in out
+
+    def test_obs_summarize_missing_file(self, capsys):
+        rc = main(["obs", "summarize", "/nonexistent/trace.jsonl"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_summarize_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        rc = main(["obs", "summarize", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCompare:
