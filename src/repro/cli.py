@@ -5,6 +5,11 @@ Five commands mirror the library's main entry points:
 * ``simulate``   — run one policy over a synthetic workload, print the
   result summary and per-disk ESRRA factors;
 * ``compare``    — the Figure 7 sweep across policies and array sizes;
+* ``sweep``      — the same sweep under the resilient harness:
+  ``--checkpoint``/``--resume`` journal completed cells and skip them on
+  restart, ``--retries``/``--cell-timeout``/``--watchdog`` give every
+  cell its own fault domain, and SIGINT drains gracefully with a resume
+  hint;
 * ``press``      — evaluate the PRESS model at explicit factor values
   (or print a Fig. 5 surface at a temperature);
 * ``worthwhile`` — the title question for one scheme vs the always-on
@@ -191,25 +196,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.figures import figure7_comparison, headline_summary
+def _print_comparison(fig7, policies: list[str], baseline: str) -> None:
+    """Shared panel printer for the ``compare`` and ``sweep`` commands."""
+    from repro.experiments.figures import headline_summary
     from repro.experiments.reporting import format_series
-    from repro.experiments.runner import ExperimentConfig
-
-    if args.verbose:
-        from repro.obs import setup_logging
-
-        setup_logging()
-    config = ExperimentConfig(workload=_workload_config(args))
-    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    disk_counts = [int(d) for d in args.disks.split(",")]
-    obs = _obs_config(args)
-    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              faults=_faults_config(args), obs=obs,
-                              jobs=args.jobs)
-    if obs is not None and (obs.trace_path or obs.metrics_path):
-        print("telemetry written per cell "
-              "(paths suffixed with -<policy>-<disks>)")
 
     x = np.array(fig7.disk_counts, dtype=float)
     print(format_series(x, fig7.series("afr"), x_label="disks",
@@ -230,13 +220,80 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(format_series(x, avail, x_label="disks", title="availability [%]"))
         print()
         print(format_series(x, losses, x_label="disks", title="data-loss events"))
-    if args.baseline and args.baseline in policies:
+    if baseline and baseline in policies:
         print()
-        summary = headline_summary(fig7, baseline=args.baseline)
+        summary = headline_summary(fig7, baseline=baseline)
         for metric, stats in summary.items():
             parts = ", ".join(f"{k.replace('vs_', '').replace('_%', '')} {v:+.1f}%"
                               for k, v in stats.items())
-            print(f"{args.baseline} improvement, {metric}: {parts}")
+            print(f"{baseline} improvement, {metric}: {parts}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure7_comparison
+    from repro.experiments.runner import ExperimentConfig
+
+    if args.verbose:
+        from repro.obs import setup_logging
+
+        setup_logging()
+    config = ExperimentConfig(workload=_workload_config(args))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    obs = _obs_config(args)
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
+                              faults=_faults_config(args), obs=obs,
+                              jobs=args.jobs)
+    if obs is not None and (obs.trace_path or obs.metrics_path):
+        print("telemetry written per cell "
+              "(paths suffixed with -<policy>-<disks>)")
+    _print_comparison(fig7, policies, args.baseline)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.figures import figure7_comparison
+    from repro.experiments.report import write_markdown_report
+    from repro.experiments.resilience import ResilienceConfig
+
+    if args.verbose:
+        from repro.obs import setup_logging
+
+        setup_logging()
+    from repro.experiments.runner import ExperimentConfig
+
+    checkpoint = args.resume or args.checkpoint
+    if args.resume is not None and not Path(args.resume).exists():
+        raise FileNotFoundError(
+            f"checkpoint to resume not found: {args.resume} "
+            f"(use --checkpoint to start a new one)")
+    resilience = ResilienceConfig(
+        max_retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
+        cell_timeout_s=args.cell_timeout,
+        watchdog=args.watchdog)
+    config = ExperimentConfig(workload=_workload_config(args))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    disk_counts = [int(d) for d in args.disks.split(",")]
+    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
+                              faults=_faults_config(args), jobs=args.jobs,
+                              resilience=resilience, checkpoint=checkpoint)
+    _print_comparison(fig7, policies, args.baseline)
+    summary = fig7.resilience
+    if summary is not None:
+        print()
+        print(f"harness: {summary.cells_run} cell(s) run, "
+              f"{summary.checkpoint_hits} restored from checkpoint, "
+              f"{summary.retries} retried, {summary.timeouts} timed out, "
+              f"{summary.pool_respawns} pool respawn(s)")
+    if checkpoint is not None:
+        print(f"checkpoint -> {checkpoint}")
+    if args.report:
+        path = write_markdown_report(fig7, args.report,
+                                     baseline=args.baseline or None)
+        print(f"wrote report -> {path}")
     return 0
 
 
@@ -402,6 +459,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="Figure 7 sweep under the resilient harness "
+             "(checkpointed, resumable, per-cell retries/timeouts)")
+    p_sweep.add_argument("--policies", default="read,maid,pdc",
+                         help="comma-separated policy names")
+    p_sweep.add_argument("--disks", default="6,10,16",
+                         help="comma-separated array sizes")
+    p_sweep.add_argument("--baseline", default="read",
+                         help="policy to compute improvements for ('' = none)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep (1 = in-process serial)")
+    p_sweep.add_argument("--report", default=None, metavar="FILE",
+                         help="also write the markdown report here")
+    p_sweep.add_argument("--verbose", action="store_true",
+                         help="log per-cell sweep progress to stderr")
+    res_group = p_sweep.add_argument_group("resilience")
+    res_group.add_argument("--checkpoint", default=None, metavar="FILE",
+                           help="journal completed cells here (created if "
+                                "missing); already-done cells are skipped")
+    res_group.add_argument("--resume", default=None, metavar="FILE",
+                           help="resume from an existing checkpoint "
+                                "(errors if the file does not exist)")
+    res_group.add_argument("--retries", type=int, default=2,
+                           help="re-queues allowed per cell after a "
+                                "crash/failure/timeout (default 2)")
+    res_group.add_argument("--retry-backoff", type=float, default=0.25,
+                           metavar="SECONDS",
+                           help="base exponential backoff between attempts "
+                                "(default 0.25)")
+    res_group.add_argument("--cell-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="wall-clock limit per cell attempt "
+                                "(enforced with --jobs >= 2)")
+    res_group.add_argument("--watchdog", action="store_true",
+                           help="arm a faulthandler watchdog in each worker: "
+                                "a hung cell dumps all thread stacks to "
+                                "stderr before being killed")
+    _add_faults_arg(p_sweep)
+    _add_workload_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     p_press = sub.add_parser("press", help="evaluate the PRESS reliability model")
     p_press.add_argument("--temp", type=float, default=50.0, help="degC")
     p_press.add_argument("--util", type=float, default=30.0, help="percent")
@@ -468,11 +567,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.experiments.parallel import CellExecutionError
+    from repro.experiments.resilience import SweepInterrupted
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SweepInterrupted as exc:
+        # completed cells are already flushed; tell the operator how to
+        # pick the sweep back up and exit with the conventional SIGINT code
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except (ValueError, FileNotFoundError, CellExecutionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

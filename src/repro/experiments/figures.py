@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.experiments.metrics import SimulationResult
 from repro.experiments.parallel import RunSpec, run_cells
+from repro.experiments.resilience import ResilienceConfig, ResilienceSummary
 from repro.experiments.runner import ExperimentConfig
 from repro.faults import FaultConfig
 from repro.obs import ObsConfig
@@ -87,6 +88,9 @@ class Figure7Results:
     disk_counts: tuple[int, ...]
     #: policy name -> one SimulationResult per disk count.
     results: dict[str, tuple[SimulationResult, ...]] = field(default_factory=dict)
+    #: Harness fault ledger; ``None`` when the sweep ran without the
+    #: resilience engine (see :mod:`repro.experiments.resilience`).
+    resilience: "ResilienceSummary | None" = None
 
     def series(self, metric: str) -> dict[str, np.ndarray]:
         """Extract one panel: metric in {'afr', 'energy', 'response'}."""
@@ -129,7 +133,9 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        policy_kwargs: dict[str, dict] | None = None,
                        faults: FaultConfig | None = None,
                        obs: ObsConfig | None = None,
-                       jobs: int = 1) -> Figure7Results:
+                       jobs: int = 1,
+                       resilience: ResilienceConfig | None = None,
+                       checkpoint=None) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
     ``policy_kwargs`` maps policy name -> config overrides (used by the
@@ -141,6 +147,13 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     ``obs`` enables telemetry per cell; any output paths it names are
     suffixed with the cell's ``<policy>-<disks>`` so parallel cells
     never write to the same file.
+
+    ``resilience`` and/or ``checkpoint`` (path or
+    :class:`~repro.experiments.resilience.SweepCheckpoint`) run the
+    sweep under the fault-domain engine; cells already journaled in the
+    checkpoint are restored instead of re-run and the harness fault
+    ledger lands in :attr:`Figure7Results.resilience`.  Results are
+    identical with or without the engine.
     """
     cfg = config or ExperimentConfig()
     kwargs = policy_kwargs or {}
@@ -151,12 +164,20 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                 obs=_cell_obs(obs, name, n))
         for name in policies for n in disk_counts
     ]
-    cells = run_cells(specs, jobs=jobs)
+    summary: ResilienceSummary | None = None
+    if resilience is not None or checkpoint is not None:
+        from repro.experiments.resilience import run_cells_resilient
+
+        cells, summary = run_cells_resilient(
+            specs, jobs=jobs, config=resilience, checkpoint=checkpoint)
+    else:
+        cells = run_cells(specs, jobs=jobs)
     results: dict[str, tuple[SimulationResult, ...]] = {}
     per_policy = len(disk_counts)
     for i, name in enumerate(policies):
         results[name] = tuple(cells[i * per_policy:(i + 1) * per_policy])
-    return Figure7Results(disk_counts=tuple(disk_counts), results=results)
+    return Figure7Results(disk_counts=tuple(disk_counts), results=results,
+                          resilience=summary)
 
 
 def headline_summary(fig7: Figure7Results, *, baseline: str = "read") -> dict[str, dict[str, float]]:

@@ -120,13 +120,34 @@ def run_cell(spec: RunSpec) -> SimulationResult:
                           faults=spec.faults, obs=spec.obs)
 
 
-def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1) -> list[SimulationResult]:
+def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1,
+              resilience=None, checkpoint=None,
+              bus=None) -> list[SimulationResult]:
     """Execute cells, returning results in input order.
 
     ``jobs=1`` (default) runs serially in-process; ``jobs>1`` fans out
     over a process pool.  Both paths produce identical results — specs
     carry all the state a cell reads, so placement does not matter.
+
+    ``resilience`` (a :class:`~repro.experiments.resilience
+    .ResilienceConfig`) and/or ``checkpoint`` (a path or
+    :class:`~repro.experiments.resilience.SweepCheckpoint`) switch to
+    the fault-domain engine: per-cell retries/timeouts, pool respawn,
+    checkpointed resume, SIGINT drain.  Results are identical either
+    way; callers that also want the
+    :class:`~repro.experiments.resilience.ResilienceSummary` should use
+    :func:`~repro.experiments.resilience.run_cells_resilient` directly.
+    ``bus`` (with ``resilience``/``checkpoint``) receives ``harness.*``
+    trace events.  With all three unset this function is byte-for-byte
+    the pre-resilience fast path.
     """
+    if resilience is not None or checkpoint is not None:
+        from repro.experiments.resilience import run_cells_resilient
+
+        results, _summary = run_cells_resilient(
+            specs, jobs=jobs, config=resilience, checkpoint=checkpoint,
+            bus=bus)
+        return results
     spec_list = list(specs)
     require(jobs >= 1, f"jobs must be >= 1, got {jobs}")
     for i, spec in enumerate(spec_list):

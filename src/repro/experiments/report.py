@@ -14,6 +14,7 @@ from typing import Union
 
 from repro.experiments.costmodel import CostAssumptions, evaluate_worthwhileness
 from repro.experiments.figures import Figure7Results, headline_summary
+from repro.util.atomicio import atomic_write_text
 from repro.util.validation import require
 
 __all__ = ["render_markdown_report", "write_markdown_report"]
@@ -56,6 +57,31 @@ def _faults_section(fig7: Figure7Results) -> str:
                          f"{f.rebuild_energy_j / 1e3:.1f}"])
     return ("### Realized reliability (fault injection)\n\n"
             + _md_table(header, rows))
+
+
+def _resilience_section(fig7: Figure7Results) -> str:
+    """Harness fault ledger, present only for resilience-engine sweeps.
+
+    Reports what the *runner* absorbed (retries, timeouts, pool
+    respawns, checkpoint restores) — harness-level faults, as distinct
+    from the simulated faults of the realized-reliability section.
+    """
+    summary = fig7.resilience
+    if summary is None:
+        return ""
+    header = ["cells", "run", "from checkpoint", "retries", "timeouts",
+              "pool respawns", "salvaged"]
+    row = [str(summary.cells_total), str(summary.cells_run),
+           str(summary.checkpoint_hits), str(summary.retries),
+           str(summary.timeouts), str(summary.pool_respawns),
+           str(summary.cells_salvaged)]
+    note = ("The harness absorbed faults while producing these results; "
+            "every retried or resumed cell re-ran from its spec seed, so "
+            "the numbers above are identical to an uninterrupted sweep."
+            if summary.eventful else
+            "The sweep completed without the harness absorbing any fault.")
+    return ("### Harness resilience\n\n" + _md_table(header, [row])
+            + "\n\n" + note)
 
 
 def _runtime_section(fig7: Figure7Results) -> str:
@@ -111,6 +137,11 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
         parts.append(runtime_section)
         parts.append("")
 
+    resilience_section = _resilience_section(fig7)
+    if resilience_section:
+        parts.append(resilience_section)
+        parts.append("")
+
     if baseline and baseline in fig7.results and len(policies) > 1:
         parts.append(f"## {baseline} improvements\n")
         summary = headline_summary(fig7, baseline=baseline)
@@ -152,7 +183,9 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
 
 def write_markdown_report(fig7: Figure7Results, path: Union[str, Path],
                           **kwargs) -> Path:
-    """Render and write the report; returns the path."""
-    path = Path(path)
-    path.write_text(render_markdown_report(fig7, **kwargs), encoding="utf-8")
-    return path
+    """Render and write the report; returns the path.
+
+    The write is atomic (tmp file + ``os.replace``): a crash mid-write
+    leaves the previous report intact instead of a truncated one.
+    """
+    return atomic_write_text(path, render_markdown_report(fig7, **kwargs))

@@ -236,12 +236,19 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     # Policies' periodic tasks keep the queue non-empty, so completion —
     # not queue exhaustion — is the intended stop condition.
     wall_start = perf_counter()
-    sim.run_until_drained()
+    try:
+        sim.run_until_drained()
+        if not metrics.all_done:
+            raise RuntimeError(
+                f"event queue drained with {metrics.completed}/{n} requests done"
+            )
+    except BaseException:
+        # a dying run must not leave a half-written trace where a whole
+        # one is expected: set it aside as <path>.partial
+        if writer is not None:
+            writer.abort()
+        raise
     wall_clock_s = perf_counter() - wall_start
-    if not metrics.all_done:
-        raise RuntimeError(
-            f"event queue drained with {metrics.completed}/{n} requests done"
-        )
 
     duration = sim.now
     if injector is not None:

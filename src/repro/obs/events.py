@@ -54,6 +54,19 @@ Engine lifecycle
       ``n_requests``)
     * ``engine.stop``  — the run ended (``events``, ``duration_s``)
 
+Harness faults (sweep-runner resilience; emitted at ``t=0.0`` because
+they happen outside simulated time, ordered by ``seq``)
+    * ``harness.checkpoint.hit`` — a cell was restored from a sweep
+      checkpoint instead of re-running (``cell``)
+    * ``harness.cell.retry``     — a failed/crashed cell was re-queued
+      (``cell``, ``attempt``, ``reason``)
+    * ``harness.cell.timeout``   — a cell exceeded its wall-clock limit
+      and was killed (``cell``, ``timeout_s``)
+    * ``harness.cell.salvage``   — an innocent in-flight cell was
+      re-queued after a pool breakage, at the same attempt (``cell``)
+    * ``harness.pool.respawn``   — the worker pool broke (or was killed
+      on a timeout) and was recreated (``respawn``, ``requeued``)
+
 The constants exist so consumers and tests never hard-code strings;
 producers import them too, keeping the taxonomy single-sourced.
 """
@@ -74,6 +87,8 @@ __all__ = [
     "POLICY_CACHE_HIT", "POLICY_CACHE_MISS", "POLICY_CACHE_INSERT",
     "POLICY_EPOCH", "POLICY_MIGRATE", "POLICY_STRIPE_FANOUT",
     "ENGINE_START", "ENGINE_STOP",
+    "HARNESS_CHECKPOINT_HIT", "HARNESS_CELL_RETRY", "HARNESS_CELL_TIMEOUT",
+    "HARNESS_CELL_SALVAGE", "HARNESS_POOL_RESPAWN",
 ]
 
 REQUEST_SUBMIT = "request.submit"
@@ -104,6 +119,12 @@ POLICY_STRIPE_FANOUT = "policy.stripe.fanout"
 ENGINE_START = "engine.start"
 ENGINE_STOP = "engine.stop"
 
+HARNESS_CHECKPOINT_HIT = "harness.checkpoint.hit"
+HARNESS_CELL_RETRY = "harness.cell.retry"
+HARNESS_CELL_TIMEOUT = "harness.cell.timeout"
+HARNESS_CELL_SALVAGE = "harness.cell.salvage"
+HARNESS_POOL_RESPAWN = "harness.pool.respawn"
+
 #: Every event type the instrumented layers can emit.
 ALL_EVENT_TYPES: frozenset[str] = frozenset({
     REQUEST_SUBMIT, REQUEST_DISPATCH, REQUEST_COMPLETE,
@@ -115,6 +136,8 @@ ALL_EVENT_TYPES: frozenset[str] = frozenset({
     POLICY_CACHE_HIT, POLICY_CACHE_MISS, POLICY_CACHE_INSERT,
     POLICY_EPOCH, POLICY_MIGRATE, POLICY_STRIPE_FANOUT,
     ENGINE_START, ENGINE_STOP,
+    HARNESS_CHECKPOINT_HIT, HARNESS_CELL_RETRY, HARNESS_CELL_TIMEOUT,
+    HARNESS_CELL_SALVAGE, HARNESS_POOL_RESPAWN,
 })
 
 

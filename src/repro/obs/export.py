@@ -12,10 +12,12 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
 from repro.obs.events import TraceEvent
+from repro.util.atomicio import PARTIAL_SUFFIX, atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -45,6 +47,13 @@ class JsonlTraceWriter:
     Usable as a context manager; always :meth:`close` (or exit the
     ``with`` block) before reading the file — lines are buffered.
 
+    Crash-safety: events stream into ``<path>.<pid>.tmp`` and the file
+    is renamed onto ``path`` only by a successful :meth:`close`, so a
+    reader can never observe a torn trace.  A run that dies mid-stream
+    should call :meth:`abort`, which quarantines the partial file as
+    ``<path>.partial`` for inspection (exiting the ``with`` block on an
+    exception does this automatically).
+
     Examples
     --------
     >>> bus = TraceBus(); writer = JsonlTraceWriter(path)   # doctest: +SKIP
@@ -54,7 +63,9 @@ class JsonlTraceWriter:
     def __init__(self, path: PathLike) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file: io.TextIOWrapper | None = self.path.open(
+        self._tmp_path = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}.tmp")
+        self._file: io.TextIOWrapper | None = self._tmp_path.open(
             "w", encoding="utf-8", newline="\n")
         self.events_written = 0
 
@@ -67,16 +78,36 @@ class JsonlTraceWriter:
         self.events_written += 1
 
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
+        """Flush, close, and atomically publish the trace (idempotent)."""
         if self._file is not None:
             self._file.close()
             self._file = None
+            os.replace(self._tmp_path, self.path)
+
+    def abort(self) -> None:
+        """Close without publishing; quarantine the partial trace.
+
+        Idempotent, and a no-op after a successful :meth:`close` — an
+        already-published trace is complete and must stay in place.
+        """
+        if self._file is None:
+            return
+        self._file.close()
+        self._file = None
+        try:
+            os.replace(self._tmp_path,
+                       self.path.with_name(self.path.name + PARTIAL_SUFFIX))
+        except OSError:  # best-effort: never mask the original failure
+            pass
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
 
-    def __exit__(self, *_exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *_exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 def read_trace(path: PathLike) -> list[dict]:
@@ -119,25 +150,22 @@ def timeseries_to_csv_text(series: "TimeSeries") -> str:
 
 def write_timeseries(series: "TimeSeries", path: PathLike) -> Path:
     """Write a time-series to ``path``: ``.json`` gets a structured JSON
-    document, anything else (canonically ``.csv``) gets CSV."""
+    document, anything else (canonically ``.csv``) gets CSV.
+
+    Atomic (tmp file + ``os.replace``): a killed process never leaves a
+    truncated series where a plotting script expects a whole one."""
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
     if target.suffix.lower() == ".json":
         doc = {"interval_s": series.interval_s,
                "columns": list(series.columns),
                "rows": [list(row) for row in series.rows]}
-        target.write_text(json.dumps(doc, separators=(",", ":")) + "\n",
-                          encoding="utf-8")
+        text = json.dumps(doc, separators=(",", ":")) + "\n"
     else:
-        target.write_text(timeseries_to_csv_text(series), encoding="utf-8")
-    return target
+        text = timeseries_to_csv_text(series)
+    return atomic_write_text(target, text)
 
 
 def write_metrics_json(registry: "MetricsRegistry", path: PathLike) -> Path:
-    """Dump a metrics registry as deterministic, indented JSON."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
-        json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
-    return target
+    """Dump a metrics registry as deterministic, indented JSON (atomic)."""
+    text = json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(path, text)

@@ -22,9 +22,11 @@ changed parameter can never alias a stale workload.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
-import tempfile
+import pickle
+import zipfile
 from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
@@ -32,6 +34,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.util.atomicio import atomic_write_bytes, quarantine
 from repro.util.validation import require
 from repro.workload.files import FileSet
 from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
@@ -71,6 +74,7 @@ class WorkloadCache:
         self.hits = 0        #: in-memory hits
         self.disk_hits = 0   #: misses served from the on-disk store
         self.misses = 0      #: full regenerations
+        self.quarantined = 0  #: corrupt entries renamed aside (.corrupt)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -121,33 +125,41 @@ class WorkloadCache:
         return self._dir / f"workload-{key}.npz"
 
     def _disk_load(self, key: str) -> Optional[Tuple[FileSet, Trace]]:
+        """Load one entry; a damaged file is quarantined, never fatal.
+
+        A truncated or corrupt ``.npz`` (a process killed mid-write by a
+        pre-atomic build, bit rot, a torn copy) raises anything from
+        :class:`zipfile.BadZipFile` through :class:`EOFError` to
+        :class:`pickle.UnpicklingError` depending on where the damage
+        sits.  All of them are treated the same way: rename the file
+        aside as ``<name>.corrupt`` so every subsequent run regenerates
+        cleanly instead of tripping over the same corpse, and fall
+        through to regeneration now.
+        """
         path = self._path(key)
+        if not path.exists():
+            return None
         try:
             with np.load(path) as data:
                 fileset = FileSet(data["sizes_mb"])
                 trace = Trace(data["times_s"], data["file_ids"])
-        except (OSError, KeyError, ValueError):
-            return None  # missing or corrupt entry -> regenerate
+        except (OSError, KeyError, ValueError, EOFError,
+                zipfile.BadZipFile, pickle.UnpicklingError):
+            if quarantine(path) is not None:
+                self.quarantined += 1
+            return None  # corrupt entry -> regenerate
         return fileset, trace
 
     def _disk_save(self, key: str, pair: Tuple[FileSet, Trace]) -> None:
         assert self._dir is not None
         fileset, trace = pair
+        buf = io.BytesIO()
+        np.savez(buf, sizes_mb=fileset.sizes_mb,
+                 times_s=trace.times_s, file_ids=trace.file_ids)
         try:
-            self._dir.mkdir(parents=True, exist_ok=True)
-            # atomic publish: concurrent workers may race on the same key
-            fd, tmp_name = tempfile.mkstemp(dir=self._dir, suffix=".npz.tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez(fh, sizes_mb=fileset.sizes_mb,
-                             times_s=trace.times_s, file_ids=trace.file_ids)
-                os.replace(tmp_name, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            # atomic publish: concurrent workers may race on the same key,
+            # and a killed process must never leave a half-written file
+            atomic_write_bytes(self._path(key), buf.getvalue())
         except OSError:
             pass  # a read-only or full store must never fail the run
 

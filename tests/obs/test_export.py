@@ -60,6 +60,69 @@ class TestJsonlTraceWriter:
         assert path.exists()
 
 
+class TestCrashSafety:
+    def test_trace_invisible_until_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer(TraceEvent(0, 0.0, "x", {}))
+        assert not path.exists()  # still streaming into the tmp file
+        writer.close()
+        assert path.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+
+    def test_abort_quarantines_partial_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer(TraceEvent(0, 0.0, "x", {}))
+        writer.abort()
+        writer.abort()  # idempotent
+        assert not path.exists()
+        partial = tmp_path / "t.jsonl.partial"
+        assert partial.exists()
+        assert json.loads(partial.read_text())["type"] == "x"
+
+    def test_abort_after_close_keeps_published_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer(TraceEvent(0, 0.0, "x", {}))
+        writer.close()
+        writer.abort()  # must not disturb a complete trace
+        assert path.exists()
+        assert not (tmp_path / "t.jsonl.partial").exists()
+
+    def test_context_exit_on_exception_aborts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlTraceWriter(path) as writer:
+                writer(TraceEvent(0, 0.0, "x", {}))
+                raise RuntimeError("simulated crash mid-run")
+        assert not path.exists()
+        assert (tmp_path / "t.jsonl.partial").exists()
+
+    def test_dying_simulation_quarantines_its_trace(self, tmp_path, small_workload,
+                                                    params):
+        """run_simulation aborts the writer when the run blows up."""
+        fileset, trace = small_workload
+        path = tmp_path / "run.jsonl"
+        obs = ObsConfig(trace_path=path)
+
+        import repro.obs.bus as bus_mod
+        original = bus_mod.TraceBus.emit
+
+        def exploding_emit(self, type_, t, **data):
+            if type_ == ev.REQUEST_SUBMIT:
+                raise RuntimeError("simulated mid-run crash")
+            return original(self, type_, t, **data)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(bus_mod.TraceBus, "emit", exploding_emit)
+            with pytest.raises(RuntimeError, match="mid-run"):
+                run_simulation(make_policy("static-high"), fileset, trace,
+                               n_disks=4, disk_params=params, obs=obs)
+        assert not path.exists()
+        assert (tmp_path / "run.jsonl.partial").exists()
+
+
 class TestReadTrace:
     def test_skips_blank_lines(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -142,6 +142,56 @@ class TestCompare:
         assert "read improvement" in out
 
 
+class TestSweep:
+    ARGS = ["sweep", "--policies", "read,static-high", "--disks", "4",
+            "--baseline", "read", "--files", "60", "--requests", "800",
+            "--interarrival-ms", "20"]
+
+    def test_runs_and_writes_checkpoint(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        rc = main([*self.ARGS, "--checkpoint", str(ckpt)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "array AFR [%]" in out
+        assert "harness: 2 cell(s) run, 0 restored from checkpoint" in out
+        assert f"checkpoint -> {ckpt}" in out
+        assert ckpt.exists()
+
+    def test_resume_skips_completed_cells(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        assert main([*self.ARGS, "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+
+        rc = main([*self.ARGS, "--resume", str(ckpt)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "harness: 0 cell(s) run, 2 restored from checkpoint" in out
+
+    def test_resume_missing_checkpoint_is_an_error(self, capsys, tmp_path):
+        rc = main([*self.ARGS, "--resume", str(tmp_path / "nope.ckpt")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "checkpoint to resume not found" in err
+
+    def test_report_includes_resilience_section(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        report = tmp_path / "report.md"
+        assert main([*self.ARGS, "--checkpoint", str(ckpt)]) == 0
+        rc = main([*self.ARGS, "--resume", str(ckpt),
+                   "--report", str(report)])
+        assert rc == 0
+        text = report.read_text()
+        assert "### Harness resilience" in text
+        assert "read improvements" in text
+
+    def test_works_without_checkpoint(self, capsys):
+        rc = main([*self.ARGS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "harness: 2 cell(s) run" in out
+        assert "checkpoint ->" not in out
+
+
 class TestPress:
     def test_point_evaluation(self, capsys):
         rc = main(["press", "--temp", "40", "--util", "30", "--freq", "0"])

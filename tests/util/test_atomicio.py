@@ -1,0 +1,79 @@
+"""Atomic publication and quarantine primitives."""
+
+import os
+
+import pytest
+
+from repro.util.atomicio import (
+    CORRUPT_SUFFIX,
+    PARTIAL_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_text,
+    quarantine,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes_and_returns_path(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        assert atomic_write_bytes(target, b"\x00\x01payload") == target
+        assert target.read_bytes() == b"\x00\x01payload"
+
+    def test_overwrites_existing_content(self, tmp_path):
+        target = tmp_path / "doc.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "deep.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_leaves_no_temporary_droppings(self, tmp_path):
+        target = tmp_path / "clean.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["clean.txt"]
+
+    def test_failure_preserves_previous_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "keep.txt"
+        atomic_write_text(target, "previous")
+
+        def boom(src, dst):
+            raise OSError("simulated rename failure")
+
+        import repro.util.atomicio as atomicio
+        monkeypatch.setattr(atomicio.os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "next")
+        monkeypatch.undo()
+        # destination untouched, temp file cleaned up
+        assert target.read_text() == "previous"
+        assert os.listdir(tmp_path) == ["keep.txt"]
+
+
+class TestQuarantine:
+    def test_renames_aside_with_corrupt_suffix(self, tmp_path):
+        victim = tmp_path / "store.npz"
+        victim.write_bytes(b"garbage")
+        moved = quarantine(victim)
+        assert moved == tmp_path / ("store.npz" + CORRUPT_SUFFIX)
+        assert not victim.exists()
+        assert moved.read_bytes() == b"garbage"
+
+    def test_custom_suffix(self, tmp_path):
+        victim = tmp_path / "trace.jsonl"
+        victim.write_text("half a line")
+        moved = quarantine(victim, suffix=PARTIAL_SUFFIX)
+        assert moved.name == "trace.jsonl" + PARTIAL_SUFFIX
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "never-existed") is None
+
+    def test_newest_corpse_wins(self, tmp_path):
+        victim = tmp_path / "f.bin"
+        victim.write_bytes(b"first")
+        quarantine(victim)
+        victim.write_bytes(b"second")
+        moved = quarantine(victim)
+        assert moved.read_bytes() == b"second"

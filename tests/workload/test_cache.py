@@ -107,6 +107,42 @@ class TestOnDiskStore:
         assert reader.misses == 1 and reader.disk_hits == 0
         assert len(tr) == CFG.n_requests
 
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        writer = WorkloadCache(disk_dir=tmp_path)
+        writer.get_or_generate(CFG)
+        (path,) = tmp_path.glob("workload-*.npz")
+        path.write_bytes(b"not an npz archive")
+
+        reader = WorkloadCache(disk_dir=tmp_path)
+        reader.get_or_generate(CFG)
+        assert reader.quarantined == 1
+        corpse = path.with_name(path.name + ".corrupt")
+        assert corpse.exists() and corpse.read_bytes() == b"not an npz archive"
+        # regeneration republished a healthy entry under the original name
+        assert path.exists()
+        fresh = WorkloadCache(disk_dir=tmp_path)
+        fresh.get_or_generate(CFG)
+        assert fresh.disk_hits == 1 and fresh.quarantined == 0
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        """A process killed mid-write leaves a torn zip: quarantine it."""
+        writer = WorkloadCache(disk_dir=tmp_path)
+        writer.get_or_generate(CFG)
+        (path,) = tmp_path.glob("workload-*.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        reader = WorkloadCache(disk_dir=tmp_path)
+        fs, tr = reader.get_or_generate(CFG)
+        assert reader.quarantined == 1 and reader.misses == 1
+        assert len(tr) == CFG.n_requests
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_writes_leave_no_temp_droppings(self, tmp_path):
+        cache = WorkloadCache(disk_dir=tmp_path)
+        cache.get_or_generate(CFG)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".npz"]
+        assert leftovers == []
+
     def test_memory_only_cache_never_touches_disk(self, tmp_path):
         cache = WorkloadCache()
         assert cache.disk_dir is None
