@@ -1,0 +1,48 @@
+"""``repro.analysis`` — determinism & invariant static analysis.
+
+Every guarantee this reproduction advertises (bit-identical results at a
+fixed seed, byte-identical trace export, kill-and-resume sweeps equal to
+uninterrupted ones) rests on invariants that regression tests can only
+check *after* the fact.  This package enforces them at analysis time:
+an AST-based rule engine walks the source tree and flags constructs that
+would silently rot those guarantees — an unseeded RNG call in a policy,
+a wall-clock read in the kernel, a raw ``open(..., "w")`` bypassing the
+crash-safe :mod:`repro.util.atomicio` path.
+
+Entry points
+------------
+* ``repro lint`` — the CLI subcommand (``repro lint --all`` also runs
+  mypy and ruff when installed);
+* ``python -m repro.analysis`` — the same interface, importable without
+  installing the console script.
+
+Violations that are *intended* are suppressed in place with a justified
+pragma::
+
+    risky_construct()  # repro: allow[IO001] streams to a tmp file, published atomically on close
+
+The justification text is mandatory; an empty or missing justification
+is itself a finding (``PRAGMA001``), and a pragma that suppresses
+nothing is reported as stale (``PRAGMA002``).  DESIGN.md Sec. 10 is the
+rule catalogue.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    lint_paths,
+    rule_codes,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "rule_codes",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the lint engine without the console script."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""The ``repro lint`` command (also ``python -m repro.analysis``).
+
+Output contract (ROADMAP item 5, JSON-first CLI):
+
+* stdout carries the *results* — human-readable finding lines, or one
+  JSON document with ``--json``;
+* stderr carries the *logs* — per-tool status, summary counts;
+* the exit code is the machine answer: **0** clean, **1** findings,
+  **2** usage or internal error (a skipped external tool is also 2
+  under ``--require-tools``, which CI sets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import all_rules, lint_paths
+from repro.analysis.external import ToolReport, run_mypy, run_ruff
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint "
+                             "(default: the repro source tree)")
+    parser.add_argument("--all", action="store_true", dest="run_all",
+                        help="also run the external tools (mypy with the "
+                             "checked-in baseline, ruff) — the full CI gate")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="one machine-readable JSON document on stdout")
+    parser.add_argument("--rules", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: every registered rule)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="with --all: regenerate lint/mypy-baseline.txt "
+                             "from the current tree")
+    parser.add_argument("--require-tools", action="store_true",
+                        help="treat a missing external tool as an error "
+                             "instead of a skip (CI sets this)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism & invariant static analysis for the "
+                    "repro source tree (exit 0 clean / 1 findings / 2 error)")
+    add_lint_arguments(parser)
+    return parser
+
+
+def _repo_root() -> Path:
+    """Repository root for a ``PYTHONPATH=src`` checkout, else the cwd."""
+    package_dir = Path(__file__).resolve().parents[1]      # .../src/repro
+    candidate = package_dir.parents[1]
+    if (candidate / "pyproject.toml").exists():
+        return candidate
+    return Path.cwd()
+
+
+def _default_paths() -> list[Path]:
+    return [Path(__file__).resolve().parents[1]]
+
+
+def _select_rules(spec: str | None) -> list:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {r.code for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+                         f"known: {', '.join(sorted(known))}")
+    return [r for r in rules if r.code in wanted]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint described by parsed ``args``; returns the exit code."""
+    log = sys.stderr
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) or "repro.*"
+            print(f"{rule.code}  {rule.name}\n    {rule.description}\n"
+                  f"    scope: {scope}")
+        return EXIT_CLEAN
+
+    rules = _select_rules(args.rules)
+    root = _repo_root()
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    result = lint_paths(paths, rules=rules, root=root)
+
+    reports: list[ToolReport] = []
+    if args.run_all:
+        reports.append(run_mypy(root, update_baseline=args.update_baseline))
+        reports.append(run_ruff(root))
+    elif args.update_baseline:
+        raise ValueError("--update-baseline requires --all (it runs mypy)")
+
+    tool_findings = [f for r in reports for f in r.findings]
+    findings = result.findings + tool_findings
+    skipped = [r for r in reports if r.status == "skipped"]
+    errored = [r for r in reports if r.status == "error"]
+
+    for report in reports:
+        print(f"[{report.tool}] {report.status}: {report.detail}", file=log)
+    print(f"checked {result.files_checked} file(s): "
+          f"{len(findings)} finding(s), {len(result.suppressed)} suppressed",
+          file=log)
+
+    if args.as_json:
+        doc = {
+            "version": 1,
+            "files_checked": result.files_checked,
+            "findings": [f.to_json() for f in findings],
+            "suppressed": [
+                {**f.to_json(), "justification": why}
+                for f, why in result.suppressed],
+            "tools": [r.to_json() for r in reports],
+            "clean": not findings,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+
+    if errored or (skipped and args.require_tools):
+        for report in errored:
+            print(f"error: {report.tool}: {report.detail}", file=log)
+        for report in skipped:
+            if args.require_tools:
+                print(f"error: {report.tool} required but not installed",
+                      file=log)
+        return EXIT_ERROR
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,399 @@
+"""The rule engine: module parsing, rule registry, pragma suppression.
+
+Design
+------
+Each :class:`Rule` owns one invariant, one stable code (``DET001``,
+``IO001``, ...), and a *scope* — the set of ``repro`` subpackages the
+invariant applies to (the kernel must not read wall clocks; a CLI
+module may).  The engine parses every file once into a
+:class:`ModuleInfo` (AST + import-alias table + pragma table) and hands
+it to every in-scope rule; rules walk the shared tree and yield
+:class:`Finding` records.
+
+Name resolution is static and intentionally simple: the engine tracks
+``import``/``from ... import`` bindings per module and resolves dotted
+references back to their origin (``np.random.default_rng`` →
+``numpy.random.default_rng``; ``ev.FAULT_INJECT`` →
+``repro.obs.events.FAULT_INJECT``).  Local shadowing of imports is not
+modelled — rules are heuristics with pragma escape hatches, not a type
+checker.
+
+Suppression
+-----------
+``# repro: allow[CODE] justification`` on the offending line suppresses
+that code there; ``allow[CODE1,CODE2]`` suppresses several.  The
+justification text is mandatory (``PRAGMA001`` otherwise) and a pragma
+that suppresses nothing is stale (``PRAGMA002``) — suppressions must
+never outlive the code they excuse.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Pragma",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "rule_codes",
+]
+
+#: Meta-codes emitted by the engine itself (not registered rules).
+PRAGMA_MISSING_JUSTIFICATION = "PRAGMA001"
+PRAGMA_STALE = "PRAGMA002"
+PARSE_ERROR = "PARSE001"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Z0-9_,\s]+)\]\s*(?P<why>.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    tool: str = "repro"
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """Flat JSON-serializable form (stable field names)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message, "tool": self.tool}
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: allow[...]`` suppression comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+
+class ModuleInfo:
+    """One parsed source file: AST, import aliases, pragmas, module name.
+
+    ``module`` is the dotted module path inferred from the *last*
+    ``repro`` segment of the file path (so both ``src/repro/sim/x.py``
+    and a test fixture tree ``fixtures/known_bad/repro/sim/x.py``
+    resolve to ``repro.sim.x``); files outside a ``repro`` tree get
+    their bare stem, and scoped rules skip them.
+    """
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=display_path)
+        self.module = _module_name(path)
+        self.pragmas = _parse_pragmas(source)
+        self._bindings = _collect_bindings(self.tree)
+        self._type_checking_lines = _type_checking_lines(self.tree)
+
+    # ------------------------------------------------------------------
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        """Dotted module path split into parts (``('repro', 'sim', 'x')``)."""
+        return tuple(self.module.split("."))
+
+    def in_scope(self, prefixes: Sequence[str]) -> bool:
+        """Whether this module falls under any of the dotted prefixes."""
+        if not prefixes:
+            return self.module.startswith("repro")
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a ``Name``/``Attribute`` reference, or ``None``.
+
+        Plain names that are not import bindings resolve to themselves
+        (so builtins like ``open`` stay matchable); attribute chains
+        whose root is an unbound local resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._bindings.get(node.id)
+        if origin is None:
+            if parts:   # attribute chain rooted at a local variable
+                return None
+            return node.id
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def is_type_checking_line(self, line: int) -> bool:
+        """Whether ``line`` sits inside an ``if TYPE_CHECKING:`` block."""
+        return line in self._type_checking_lines
+
+
+# ----------------------------------------------------------------------
+# rule base + registry
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: subclass, set the class attributes, implement check().
+
+    Attributes
+    ----------
+    code / name / description:
+        Stable identifier, short slug, and the invariant the rule
+        protects (rendered by ``repro lint --list-rules`` and quoted in
+        DESIGN.md Sec. 10).
+    scope:
+        Dotted module prefixes the rule applies to; empty means every
+        ``repro`` module.
+    exempt:
+        Exact module names skipped even when in scope (e.g. the module
+        that *implements* the sanctioned pattern).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scope: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.module in self.exempt:
+            return False
+        return module.in_scope(self.scope)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # helper shared by subclasses
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(path=module.display_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, message=message)
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (unique code)."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def rule_codes() -> list[str]:
+    """Registered rule codes, sorted."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one engine run over a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+
+def lint_paths(paths: Iterable[Path | str], *,
+               rules: Sequence[Rule] | None = None,
+               root: Path | str | None = None) -> LintResult:
+    """Run the rule pack over files/directories; returns a :class:`LintResult`.
+
+    Directories are walked recursively for ``*.py``; ``root`` (default:
+    current directory) anchors the repo-relative paths findings are
+    reported under.  Findings are sorted by (path, line, col, code) so
+    output is deterministic regardless of filesystem walk order.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    root_path = Path(root) if root is not None else Path.cwd()
+    result = LintResult()
+    for file_path in _expand(paths):
+        result.files_checked += 1
+        display = _display_path(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ModuleInfo(file_path, display, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            result.findings.append(Finding(
+                path=display, line=int(line), col=1, code=PARSE_ERROR,
+                message=f"file does not parse: {exc}"))
+            continue
+        result.extend(_lint_module(module, active))
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.suppressed.sort(key=lambda s: (s[0].path, s[0].line, s[0].code))
+    return result
+
+
+def _lint_module(module: ModuleInfo, rules: Sequence[Rule]) -> LintResult:
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(module):
+            raw.extend(rule.check(module))
+
+    result = LintResult(files_checked=0)
+    pragmas_by_line = {p.line: p for p in module.pragmas}
+    used_pragma_codes: dict[int, set[str]] = {}
+    for finding in raw:
+        pragma = pragmas_by_line.get(finding.line)
+        if pragma is not None and finding.code in pragma.codes:
+            if pragma.justification:
+                result.suppressed.append((finding, pragma.justification))
+                used_pragma_codes.setdefault(pragma.line, set()).add(finding.code)
+                continue
+            # unjustified pragma: keep the original finding AND flag the pragma
+        result.findings.append(finding)
+
+    for pragma in module.pragmas:
+        if not pragma.justification:
+            result.findings.append(Finding(
+                path=module.display_path, line=pragma.line, col=1,
+                code=PRAGMA_MISSING_JUSTIFICATION,
+                message=f"suppression allow[{','.join(pragma.codes)}] needs a "
+                        f"justification: '# repro: allow[CODE] <why>'"))
+            continue
+        unused = [c for c in pragma.codes
+                  if c not in used_pragma_codes.get(pragma.line, set())]
+        if unused:
+            result.findings.append(Finding(
+                path=module.display_path, line=pragma.line, col=1,
+                code=PRAGMA_STALE,
+                message=f"stale suppression: allow[{','.join(unused)}] "
+                        f"matches no finding on this line"))
+    return result
+
+
+# ----------------------------------------------------------------------
+# parsing helpers
+# ----------------------------------------------------------------------
+def _expand(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return files
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else ""
+
+
+def _parse_pragmas(source: str) -> tuple[Pragma, ...]:
+    """Extract pragmas from real comments only (tokenize, not line regex),
+    so pragma syntax quoted in docstrings or messages never registers."""
+    import io
+    import tokenize
+
+    pragmas = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(c.strip() for c in match.group("codes").split(",")
+                          if c.strip())
+            pragmas.append(Pragma(line=tok.start[0], codes=codes,
+                                  justification=match.group("why").strip()))
+    except tokenize.TokenError:   # truncated file: ast.parse already raised
+        pass
+    return tuple(pragmas)
+
+
+def _collect_bindings(tree: ast.Module) -> dict[str, str]:
+    """Map local names to dotted import origins, module-wide.
+
+    Position-insensitive by design: rebinding an import name later in
+    the module is not modelled (and would itself be questionable style).
+    """
+    bindings: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                bindings[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bindings[local] = f"{node.module}.{alias.name}"
+    return bindings
+
+
+def _type_checking_lines(tree: ast.Module) -> frozenset[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks (typing-only code)."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+        if is_tc:
+            for child in node.body:
+                end = getattr(child, "end_lineno", child.lineno)
+                lines.update(range(child.lineno, end + 1))
+    return frozenset(lines)

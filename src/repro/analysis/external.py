@@ -1,0 +1,192 @@
+"""Gated wrappers around the external gate tools: mypy and ruff.
+
+The container this library runs in may not ship either tool, so both
+wrappers *detect* availability and report a ``skipped`` status instead
+of failing — CI (which installs them) passes ``--require-tools`` to turn
+a skip into a hard error, keeping local runs usable and the CI gate
+strict.
+
+mypy baseline
+-------------
+``repro.util``, ``repro.press`` and ``repro.obs.events`` are checked
+strict with **no** escape hatch; the rest of the tree is gradually
+typed, gated by the checked-in ``lint/mypy-baseline.txt``: an error is
+tolerated only when a baseline entry (``<glob> :: <error-code-or-*>``)
+matches it, and baseline entries can never match the strict modules.
+``repro lint --update-baseline`` regenerates the file from the current
+tree, so ratcheting the baseline down is one command.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["ToolReport", "run_mypy", "run_ruff", "STRICT_MODULE_GLOBS",
+           "BASELINE_RELPATH", "MYPY_CONFIG_RELPATH"]
+
+#: Path globs (relative to the repo root) checked strict — never baselined.
+STRICT_MODULE_GLOBS = ("src/repro/util/*.py", "src/repro/press/*.py",
+                       "src/repro/obs/events.py")
+
+BASELINE_RELPATH = Path("lint") / "mypy-baseline.txt"
+MYPY_CONFIG_RELPATH = Path("mypy.ini")
+
+_MYPY_LINE_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+)(?::(?P<col>\d+))?:\s*error:\s*"
+    r"(?P<msg>.*?)(?:\s+\[(?P<code>[a-z0-9-]+)\])?$")
+
+
+@dataclass
+class ToolReport:
+    """Outcome of one external tool invocation."""
+
+    tool: str
+    status: str                 # "ok" | "findings" | "skipped" | "error"
+    detail: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    baselined: int = 0
+
+    def to_json(self) -> dict[str, object]:
+        return {"tool": self.tool, "status": self.status, "detail": self.detail,
+                "baselined": self.baselined,
+                "findings": [f.to_json() for f in self.findings]}
+
+
+def _is_strict_path(path: str) -> bool:
+    return any(fnmatch(path, glob) for glob in STRICT_MODULE_GLOBS)
+
+
+def _load_baseline(root: Path) -> list[tuple[str, str]]:
+    baseline_path = root / BASELINE_RELPATH
+    entries: list[tuple[str, str]] = []
+    if not baseline_path.exists():
+        return entries
+    for raw in baseline_path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        glob, _, code = line.partition("::")
+        entries.append((glob.strip(), code.strip() or "*"))
+    return entries
+
+
+def _baselined(entries: list[tuple[str, str]], finding: Finding) -> bool:
+    if _is_strict_path(finding.path):
+        return False    # strict modules have no escape hatch
+    return any(fnmatch(finding.path, glob) and code in ("*", finding.code)
+               for glob, code in entries)
+
+
+# ----------------------------------------------------------------------
+# mypy
+# ----------------------------------------------------------------------
+def run_mypy(root: Path, *, update_baseline: bool = False,
+             timeout_s: float = 600.0) -> ToolReport:
+    """Run mypy over ``src/repro`` with the repo config, baseline-filtered."""
+    if importlib.util.find_spec("mypy") is None:
+        return ToolReport("mypy", "skipped", "mypy is not installed")
+    config = root / MYPY_CONFIG_RELPATH
+    cmd = [sys.executable, "-m", "mypy", "--config-file", str(config),
+           "src/repro"]
+    try:
+        proc = subprocess.run(cmd, cwd=root, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return ToolReport("mypy", "error", f"failed to run mypy: {exc}")
+    if proc.returncode not in (0, 1):   # 2 = usage/config/internal error
+        return ToolReport("mypy", "error",
+                          (proc.stderr or proc.stdout).strip()[:2000])
+
+    all_findings = _parse_mypy(proc.stdout)
+    if update_baseline:
+        _write_baseline(root, all_findings)
+    entries = _load_baseline(root)
+    fresh = [f for f in all_findings if not _baselined(entries, f)]
+    baselined = len(all_findings) - len(fresh)
+    status = "findings" if fresh else "ok"
+    return ToolReport("mypy", status,
+                      f"{len(fresh)} error(s), {baselined} baselined",
+                      findings=fresh, baselined=baselined)
+
+
+def _parse_mypy(stdout: str) -> list[Finding]:
+    findings = []
+    for line in stdout.splitlines():
+        match = _MYPY_LINE_RE.match(line.strip())
+        if match is None:
+            continue
+        findings.append(Finding(
+            path=Path(match.group("path")).as_posix(),
+            line=int(match.group("line")),
+            col=int(match.group("col") or 1),
+            code=match.group("code") or "error",
+            message=match.group("msg"),
+            tool="mypy"))
+    return findings
+
+
+def _write_baseline(root: Path, findings: list[Finding]) -> None:
+    """Regenerate the baseline from the current tree (strict paths excluded)."""
+    keys = sorted({f"{f.path} :: {f.code}" for f in findings
+                   if not _is_strict_path(f.path)})
+    header = (
+        "# mypy baseline — errors tolerated in gradually-typed modules.\n"
+        "# Format: <path glob> :: <mypy error code, or *>.\n"
+        "# Strict modules (repro.util, repro.press, repro.obs.events) can\n"
+        "# never be baselined.  Regenerate: repro lint --all --update-baseline\n")
+    atomic_write_text(root / BASELINE_RELPATH, header + "\n".join(keys) + "\n")
+
+
+# ----------------------------------------------------------------------
+# ruff
+# ----------------------------------------------------------------------
+def run_ruff(root: Path, *, timeout_s: float = 300.0) -> ToolReport:
+    """Run ruff over ``src/repro`` with the repo's pyproject config."""
+    exe = shutil.which("ruff")
+    if exe is not None:
+        cmd = [exe, "check", "--output-format", "json", "src/repro"]
+    elif importlib.util.find_spec("ruff") is not None:
+        cmd = [sys.executable, "-m", "ruff", "check",
+               "--output-format", "json", "src/repro"]
+    else:
+        return ToolReport("ruff", "skipped", "ruff is not installed")
+    try:
+        proc = subprocess.run(cmd, cwd=root, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return ToolReport("ruff", "error", f"failed to run ruff: {exc}")
+    if proc.returncode not in (0, 1):
+        return ToolReport("ruff", "error",
+                          (proc.stderr or proc.stdout).strip()[:2000])
+    try:
+        raw = json.loads(proc.stdout or "[]")
+    except json.JSONDecodeError as exc:
+        return ToolReport("ruff", "error", f"unparseable ruff output: {exc}")
+    findings = [Finding(
+        path=_relative_to(Path(item["filename"]), root),
+        line=int(item["location"]["row"]),
+        col=int(item["location"]["column"]),
+        code=str(item.get("code") or "ruff"),
+        message=str(item["message"]),
+        tool="ruff") for item in raw]
+    status = "findings" if findings else "ok"
+    return ToolReport("ruff", status, f"{len(findings)} finding(s)",
+                      findings=findings)
+
+
+def _relative_to(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

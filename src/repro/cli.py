@@ -17,7 +17,10 @@ Five commands mirror the library's main entry points:
 * ``report``     — write a full markdown comparison report;
 * ``trace``      — generate/inspect traces and convert WC98 binary logs;
 * ``obs``        — inspect telemetry artifacts (``obs summarize`` rolls
-  a JSONL event trace up per event type and per disk).
+  a JSONL event trace up per event type and per disk; ``--json`` emits
+  the same rollup machine-readably);
+* ``lint``       — the determinism & invariant static-analysis suite
+  (:mod:`repro.analysis`): exit 0 clean, 1 findings, 2 error.
 
 ``simulate`` and ``compare`` accept telemetry flags (``--trace-out``,
 ``--metrics-out``, ``--sample-interval``) that attach the
@@ -364,13 +367,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import format_summary, summarize_trace
 
     if args.obs_command == "summarize":
         summary = summarize_trace(args.path)
-        print(format_summary(summary, source=args.path))
+        if args.as_json:
+            doc = {"source": args.path, **summary.to_json()}
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(format_summary(summary, source=args.path))
         return 0
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -559,7 +574,18 @@ def build_parser() -> argparse.ArgumentParser:
                                help="per-disk / per-event-type rollup of a "
                                     "JSONL event trace")
     o_sum.add_argument("path", help="trace JSONL path")
+    o_sum.add_argument("--json", action="store_true", dest="as_json",
+                       help="one machine-readable JSON document on stdout")
     o_sum.set_defaults(func=_cmd_obs)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant static analysis "
+             "(exit 0 clean / 1 findings / 2 error)")
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -78,7 +78,6 @@ def plan_migrations(split: PopularitySplit, layout: ZoneLayout,
     load = np.asarray(zone_load_mb, dtype=np.float64).copy()
     require(load.size == layout.n_disks, "zone_load_mb must have one entry per disk")
 
-    popular_mask = split.is_popular()
     moves: list[tuple[int, int]] = []
 
     def best_destination(zone: np.ndarray, size: float) -> int | None:

@@ -373,7 +373,7 @@ class TwoSpeedDrive:
         self._speed = target
         self._refresh_speed_cache()
         self._pending_target = None
-        if self._sim.now == self._start_time_s:
+        if self._sim.now == self._start_time_s:  # repro: allow[NUM001] exact check: has any simulated time elapsed at all
             # pre-traffic configuration: the drive has "always" been at
             # this speed, so it starts at the matching steady temperature
             self.thermal.reset(temperature_c=self.params.mode(target).steady_temp_c)
@@ -522,7 +522,7 @@ class TwoSpeedDrive:
         else:
             job = self._pick_next()
         now = self._sim.now
-        if now != self._last_account_s:  # no-op when chained off _complete
+        if now != self._last_account_s:  # repro: allow[NUM001] propagated timestamp: dedupes the accounting call chained off _complete
             self._account()
         self._phase = DrivePhase.BUSY
         self._current = job

@@ -87,10 +87,10 @@ class ThermalModel:
             int T dt = T_ss * dt + (T0 - T_ss) * tau * (1 - exp(-dt/tau))
         """
         if not (dt > 0.0):  # False for NaN too
-            if dt == 0.0:
+            if dt == 0.0:  # repro: allow[NUM001] exact zero-step fast path; any eps falls through to the integrator
                 return self._temp_c
             require_non_negative(dt, "dt")  # raises with the precise message
-        elif dt == math.inf:
+        elif dt == math.inf:  # repro: allow[NUM001] inf compares exactly by IEEE-754 definition
             require_non_negative(dt, "dt")
         t0 = self._temp_c
         decay = _exp(-dt / self._tau)
@@ -124,8 +124,8 @@ class ThermalModel:
         already past it.  Useful for thermal-headroom experiments.
         """
         t0 = self._temp_c
-        if t0 == steady_c:
-            return 0.0 if target_c == steady_c else math.inf
+        if t0 == steady_c:  # repro: allow[NUM001] degenerate-trajectory guard: division below needs exact inequality only
+            return 0.0 if target_c == steady_c else math.inf  # repro: allow[NUM001] exact asymptote membership; any eps is 'never reached'
         frac = (target_c - steady_c) / (t0 - steady_c)
         if frac >= 1.0:
             return 0.0

@@ -31,6 +31,7 @@ from typing import Iterable, Literal
 
 import numpy as np
 
+from repro.press.hazard import annual_failure_rate_to_rate
 from repro.util.rngtools import SeedLike, rng_from
 from repro.util.validation import require, require_positive
 
@@ -41,16 +42,6 @@ Redundancy = Literal["none", "parity", "mirror_pairs"]
 HOURS_PER_YEAR = 8766.0
 
 
-def annual_failure_rate_to_rate(afr_percent: float) -> float:
-    """Poisson failure rate (per year) equivalent to an AFR.
-
-    Solves ``1 - exp(-rate) == afr``: for small AFRs this is ~AFR, but
-    the exact form stays meaningful for the pathological AFRs aggressive
-    schemes can reach (Eq. 3 tops out near 38%).
-    """
-    require(0.0 <= afr_percent < 100.0,
-            f"afr_percent must be in [0, 100), got {afr_percent}")
-    return float(-np.log1p(-afr_percent / 100.0))
 
 
 @dataclass(frozen=True, slots=True)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional
 
 from repro.disk.drive import QueueDiscipline
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams

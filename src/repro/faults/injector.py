@@ -8,7 +8,7 @@ replacement spindle after each rebuild).  Every ``hazard_refresh_s`` the
 injector re-scores the disk's PRESS factors — mean temperature,
 utilization, and transition frequency all evolve with the workload — and
 converts the resulting AFR into an instantaneous failure rate via
-:func:`repro.experiments.failures.annual_failure_rate_to_rate`, scaled
+:func:`repro.press.hazard.annual_failure_rate_to_rate`, scaled
 by the acceleration factor.  The rate is held over the next refresh
 period and the integrated hazard ``Lambda_d`` accumulates; when
 ``Lambda_d + rate * period`` would cross ``u_d`` the failure is
@@ -47,11 +47,11 @@ from typing import Callable, Optional
 
 from repro.disk.array import DiskArray
 from repro.disk.drive import Job
-from repro.experiments.failures import annual_failure_rate_to_rate
 from repro.faults.config import FaultConfig
 from repro.faults.metrics import FaultTracker
 from repro.obs import events as ev
 from repro.policies.base import Policy
+from repro.press.hazard import annual_failure_rate_to_rate
 from repro.press.model import PRESSModel
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.timers import PeriodicTask

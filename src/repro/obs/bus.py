@@ -89,4 +89,4 @@ class TraceBus:
     def emit_many(self, events: Iterable[tuple[str, float, dict]]) -> None:
         """Bulk emission convenience for replays and tests."""
         for type_, time_, data in events:
-            self.emit(type_, time_, **data)
+            self.emit(type_, time_, **data)  # repro: allow[OBS001] forwarder: replayed events were taxonomy-checked at original emission

@@ -73,7 +73,7 @@ producers import them too, keeping the taxonomy single-sourced.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 __all__ = [
     "ALL_EVENT_TYPES",
@@ -165,4 +165,4 @@ class TraceEvent(NamedTuple):
     seq: int
     time: float
     type: str
-    data: dict
+    data: dict[str, Any]

@@ -65,7 +65,7 @@ class JsonlTraceWriter:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._tmp_path = self.path.with_name(
             f"{self.path.name}.{os.getpid()}.tmp")
-        self._file: io.TextIOWrapper | None = self._tmp_path.open(
+        self._file: io.TextIOWrapper | None = self._tmp_path.open(  # repro: allow[IO001] streams to a .tmp sibling; close() publishes with os.replace, abort() quarantines
             "w", encoding="utf-8", newline="\n")
         self.events_written = 0
 

@@ -21,6 +21,7 @@ from typing import Iterable, Union
 
 from repro.obs import events as ev
 from repro.obs.export import read_trace
+from repro.util.tables import format_table
 
 __all__ = ["DiskRollup", "TraceSummary", "summarize_records",
            "summarize_trace", "format_summary"]
@@ -80,6 +81,17 @@ class TraceSummary:
         """Per-disk table rows, sorted by disk id."""
         return [self.by_disk[d].summary_row() for d in sorted(self.by_disk)]
 
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable form for ``obs summarize --json`` (stable keys,
+        deterministic ordering)."""
+        return {
+            "total_events": self.total_events,
+            "duration_s": self.duration_s,
+            "by_type": self.type_rows(),
+            "by_disk": self.disk_rows(),
+            "unknown_types": sorted(self.unknown_types),
+        }
+
 
 def summarize_records(records: Iterable[dict]) -> TraceSummary:
     """Aggregate parsed trace records (see module docstring)."""
@@ -124,8 +136,6 @@ def summarize_trace(path: PathLike) -> TraceSummary:
 
 def format_summary(summary: TraceSummary, *, source: str = "trace") -> str:
     """Render a :class:`TraceSummary` as the CLI's aligned-table output."""
-    from repro.experiments.reporting import format_table
-
     parts = [f"{source}: {summary.total_events} events over "
              f"{summary.duration_s:.1f} simulated seconds"]
     if summary.by_type:

@@ -291,7 +291,7 @@ class MAIDPolicy(Policy):
         budget = self._cache_budget_mb()
         if self._cache_used_mb[cache_disk] + size_mb <= budget:
             return True
-        for fid in list(self._cache.keys()):  # oldest first
+        for fid in list(self._cache):  # insertion order: oldest first
             if self._cache[fid] != cache_disk:
                 continue
             del self._cache[fid]

@@ -31,6 +31,7 @@ The un-halved IDEMA curve (Fig. 4a) is recovered as exactly twice Eq. 3.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.units import per_month_to_per_day
 from repro.util.validation import require
@@ -50,13 +51,13 @@ EQ3_COEFFICIENTS: tuple[float, float, float] = (1.51e-5, -1.09e-4, 1.39e-4)
 FREQUENCY_DOMAIN_PER_DAY: tuple[float, float] = (0.0, 1600.0)
 
 
-def _eval_quadratic(f: np.ndarray) -> np.ndarray:
+def _eval_quadratic(f: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
     a, b, c = EQ3_COEFFICIENTS
-    return np.maximum(a * f * f + b * f + c, 0.0)
+    return np.maximum(a * f * f + b * f + c, 0.0).astype(np.float64)
 
 
-def frequency_afr_adder_percent(transitions_per_day: float | np.ndarray,
-                                *, clip_domain: bool = True) -> float | np.ndarray:
+def frequency_afr_adder_percent(transitions_per_day: float | npt.NDArray[np.float64],
+                                *, clip_domain: bool = True) -> float | npt.NDArray[np.float64]:
     """Eq. 3: AFR adder (percent) for a given daily transition frequency.
 
     ``clip_domain=True`` (default) clamps inputs into [0, 1600] — the
@@ -77,8 +78,8 @@ def frequency_afr_adder_percent(transitions_per_day: float | np.ndarray,
     return out
 
 
-def idema_start_stop_adder_percent(events_per_day: float | np.ndarray,
-                                   *, per_month: bool = False) -> float | np.ndarray:
+def idema_start_stop_adder_percent(events_per_day: float | npt.NDArray[np.float64],
+                                   *, per_month: bool = False) -> float | npt.NDArray[np.float64]:
     """The extended IDEMA start/stop adder (Fig. 4a): exactly 2x Eq. 3.
 
     ``per_month=True`` interprets the input as events per month (IDEMA's
@@ -114,17 +115,17 @@ class FrequencyReliability:
         """Fitted frequency domain, transitions per day."""
         return self._domain
 
-    def __call__(self, transitions_per_day: float | np.ndarray) -> float | np.ndarray:
+    def __call__(self, transitions_per_day: float | npt.NDArray[np.float64]) -> float | npt.NDArray[np.float64]:
         """AFR adder (percent) via Eq. 3, domain-clamped."""
         return frequency_afr_adder_percent(transitions_per_day)
 
-    def curve(self, n_points: int = 161) -> tuple[np.ndarray, np.ndarray]:
+    def curve(self, n_points: int = 161) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Sampled (freq/day, AFR %) over [0, 1600] — Fig. 4b's series."""
         require(n_points >= 2, "n_points must be >= 2")
         freqs = np.linspace(*self._domain, n_points)
         return freqs, np.asarray(self(freqs), dtype=np.float64)
 
-    def idema_curve(self, n_points: int = 161) -> tuple[np.ndarray, np.ndarray]:
+    def idema_curve(self, n_points: int = 161) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Sampled (events/day, AFR %) of the un-halved adder — Fig. 4a."""
         freqs, halved = self.curve(n_points)
         return freqs, 2.0 * halved

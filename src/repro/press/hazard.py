@@ -1,0 +1,28 @@
+"""AFR-to-hazard-rate conversion shared by the fault injector and the
+Monte Carlo failure analysis.
+
+This lives in :mod:`repro.press` (not :mod:`repro.experiments`) because
+it is pure reliability math on PRESS's output — and because both
+:mod:`repro.faults` and :mod:`repro.experiments` consume it, it must sit
+below both in the import layering (ARCH001).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import require
+
+__all__ = ["annual_failure_rate_to_rate"]
+
+
+def annual_failure_rate_to_rate(afr_percent: float) -> float:
+    """Poisson failure rate (per year) equivalent to an AFR.
+
+    Solves ``1 - exp(-rate) == afr``: for small AFRs this is ~AFR, but
+    the exact form stays meaningful for the pathological AFRs aggressive
+    schemes can reach (Eq. 3 tops out near 38%).
+    """
+    require(0.0 <= afr_percent < 100.0,
+            f"afr_percent must be in [0, 100), got {afr_percent}")
+    return -math.log1p(-afr_percent / 100.0)

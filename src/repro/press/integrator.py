@@ -23,6 +23,7 @@ import enum
 from typing import Iterable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import require, require_fraction
 
@@ -60,8 +61,8 @@ class ReliabilityIntegrator:
         self.temperature_weight = require_fraction(temperature_weight, "temperature_weight")
 
     # ------------------------------------------------------------------
-    def disk_afr(self, temp_afr: float | np.ndarray, util_afr: float | np.ndarray,
-                 freq_afr: float | np.ndarray) -> float | np.ndarray:
+    def disk_afr(self, temp_afr: float | npt.NDArray[np.float64], util_afr: float | npt.NDArray[np.float64],
+                 freq_afr: float | npt.NDArray[np.float64]) -> float | npt.NDArray[np.float64]:
         """Fuse the three per-factor AFRs (all percent) into one disk AFR."""
         t = np.asarray(temp_afr, dtype=np.float64)
         u = np.asarray(util_afr, dtype=np.float64)
@@ -84,7 +85,7 @@ class ReliabilityIntegrator:
 
         if all(np.ndim(x) == 0 for x in (temp_afr, util_afr, freq_afr)):
             return float(out)
-        return out
+        return np.asarray(out, dtype=np.float64)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.disk.array import DiskArray
 from repro.disk.drive import TwoSpeedDrive
@@ -68,7 +69,8 @@ class PRESSModel:
         self.integrator = integrator or ReliabilityIntegrator()
 
     @classmethod
-    def with_strategy(cls, strategy: CombinationStrategy, **kwargs) -> "PRESSModel":
+    def with_strategy(cls, strategy: CombinationStrategy,
+                      **kwargs: float) -> "PRESSModel":
         """Build a model differing from the default only in combination rule."""
         return cls(integrator=ReliabilityIntegrator(strategy, **kwargs))
 
@@ -83,8 +85,8 @@ class PRESSModel:
         f_afr = self.frequency(transitions_per_day)
         return float(self.integrator.disk_afr(t_afr, u_afr, f_afr))
 
-    def afr_surface(self, temp_c: float, utilization_percent: np.ndarray,
-                    transitions_per_day: np.ndarray) -> np.ndarray:
+    def afr_surface(self, temp_c: float, utilization_percent: npt.ArrayLike,
+                    transitions_per_day: npt.ArrayLike) -> npt.NDArray[np.float64]:
         """AFR grid at fixed temperature — one Fig. 5 panel.
 
         Returns shape ``(len(utilization_percent), len(transitions_per_day))``.

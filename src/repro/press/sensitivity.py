@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.press.model import PRESSModel
 from repro.util.validation import require
@@ -92,7 +93,7 @@ def tornado(press: PRESSModel | None = None, *,
     require(set(rngs) == set(FACTORS), f"ranges must cover exactly {FACTORS}")
 
     base_afr = _evaluate(model, pt["temperature"], pt["utilization"], pt["frequency"])
-    bars = []
+    bars: list[TornadoBar] = []
     for factor in FACTORS:
         lo_pt = _point_with(pt, factor, rngs[factor].low)
         hi_pt = _point_with(pt, factor, rngs[factor].high)
@@ -111,7 +112,7 @@ def partial_effect(factor: str, *, press: PRESSModel | None = None,
                    base: dict[str, float] | None = None,
                    n_points: int = 33,
                    factor_range: FactorRange | None = None
-                   ) -> tuple[np.ndarray, np.ndarray]:
+                   ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
     """1-D AFR curve along one factor, others held at the base point."""
     require(factor in FACTORS, f"factor must be one of {FACTORS}")
     require(n_points >= 2, "n_points must be >= 2")

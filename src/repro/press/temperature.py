@@ -18,6 +18,7 @@ the curve is clamped to the boundary values rather than extrapolated
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 from scipy.interpolate import PchipInterpolator
 
 from repro.util.validation import require
@@ -72,7 +73,7 @@ class TemperatureReliability:
         """Temperature range covered by the anchors, degC."""
         return (self._t_min, self._t_max)
 
-    def __call__(self, temp_c: float | np.ndarray) -> float | np.ndarray:
+    def __call__(self, temp_c: float | npt.NDArray[np.float64]) -> float | npt.NDArray[np.float64]:
         """AFR (percent) at ``temp_c``; clamped outside the anchor range."""
         t = np.asarray(temp_c, dtype=np.float64)
         require(bool(np.all(np.isfinite(t))), "temperature must be finite")
@@ -82,7 +83,7 @@ class TemperatureReliability:
             return float(out)
         return np.asarray(out, dtype=np.float64)
 
-    def curve(self, n_points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+    def curve(self, n_points: int = 101) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Sampled (temps, AFRs) over the anchor domain — Fig. 2b's series."""
         require(n_points >= 2, "n_points must be >= 2")
         temps = np.linspace(self._t_min, self._t_max, n_points)

@@ -22,6 +22,7 @@ simply has no colder bin, and the paper's own domain is [25, 100].
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.util.validation import require
 
@@ -85,7 +86,7 @@ class UtilizationReliability:
             return "medium"
         return "high"
 
-    def __call__(self, utilization_percent: float | np.ndarray) -> float | np.ndarray:
+    def __call__(self, utilization_percent: float | npt.NDArray[np.float64]) -> float | npt.NDArray[np.float64]:
         """AFR (percent) for utilization in percent (clamped to [25, 100])."""
         u = np.asarray(utilization_percent, dtype=np.float64)
         require(bool(np.all(np.isfinite(u))), "utilization must be finite")
@@ -102,11 +103,11 @@ class UtilizationReliability:
             return float(out)
         return np.asarray(out, dtype=np.float64)
 
-    def from_fraction(self, utilization_fraction: float | np.ndarray) -> float | np.ndarray:
+    def from_fraction(self, utilization_fraction: float | npt.NDArray[np.float64]) -> float | npt.NDArray[np.float64]:
         """Same mapping with utilization given as a fraction in [0, 1]."""
         return self(np.asarray(utilization_fraction, dtype=np.float64) * 100.0)
 
-    def curve(self, n_points: int = 151) -> tuple[np.ndarray, np.ndarray]:
+    def curve(self, n_points: int = 151) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Sampled (utilization %, AFR %) over [25, 100] — Fig. 3b's series."""
         require(n_points >= 2, "n_points must be >= 2")
         utils = np.linspace(25.0, 100.0, n_points)

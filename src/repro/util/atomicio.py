@@ -29,7 +29,7 @@ from typing import Union
 __all__ = ["atomic_write_bytes", "atomic_write_text", "quarantine",
            "CORRUPT_SUFFIX", "PARTIAL_SUFFIX"]
 
-PathLike = Union[str, os.PathLike]
+PathLike = Union[str, "os.PathLike[str]"]
 
 #: Suffix appended to files set aside because their content is damaged.
 CORRUPT_SUFFIX = ".corrupt"

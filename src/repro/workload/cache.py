@@ -154,7 +154,7 @@ class WorkloadCache:
         assert self._dir is not None
         fileset, trace = pair
         buf = io.BytesIO()
-        np.savez(buf, sizes_mb=fileset.sizes_mb,
+        np.savez(buf, sizes_mb=fileset.sizes_mb,  # repro: allow[IO001] in-memory buffer; published via atomic_write_bytes below
                  times_s=trace.times_s, file_ids=trace.file_ids)
         try:
             # atomic publish: concurrent workers may race on the same key,

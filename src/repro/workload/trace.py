@@ -15,6 +15,7 @@ from typing import Iterator, Union
 
 import numpy as np
 
+from repro.util.atomicio import atomic_write_text
 from repro.util.validation import require
 from repro.workload.files import FileSet
 from repro.workload.request import Request
@@ -147,13 +148,17 @@ class Trace:
     # persistence
     # ------------------------------------------------------------------
     def to_csv(self, path: Union[str, Path]) -> None:
-        """Write ``time_s,file_id`` rows with a one-line header."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write("time_s,file_id\n")
-            buf = io.StringIO()
-            np.savetxt(buf, np.column_stack([self._times, self._ids.astype(np.float64)]),
-                       fmt=["%.9f", "%d"], delimiter=",")
-            fh.write(buf.getvalue())
+        """Write ``time_s,file_id`` rows with a one-line header.
+
+        Published atomically (:mod:`repro.util.atomicio`): a killed
+        process never leaves a torn trace where a reader expects one.
+        """
+        buf = io.StringIO()
+        buf.write("time_s,file_id\n")
+        np.savetxt(buf,  # repro: allow[IO001] in-memory buffer; published atomically below
+                   np.column_stack([self._times, self._ids.astype(np.float64)]),
+                   fmt=["%.9f", "%d"], delimiter=",")
+        atomic_write_text(path, buf.getvalue())
 
     @classmethod
     def from_csv(cls, path: Union[str, Path]) -> "Trace":

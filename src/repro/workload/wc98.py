@@ -27,6 +27,7 @@ be truncated/partial, so the max is the best whole-file size estimate).
 
 from __future__ import annotations
 
+import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +35,7 @@ from typing import BinaryIO, Iterable, Iterator, Union
 
 import numpy as np
 
+from repro.util.atomicio import atomic_write_bytes
 from repro.util.validation import require
 from repro.workload.files import FileSet
 from repro.workload.trace import Trace
@@ -150,8 +152,10 @@ def write_wc98(records: Iterable[WC98Record],
         return n
 
     if isinstance(path_or_file, (str, Path)):
-        with open(path_or_file, "wb") as fh:
-            return _write(fh)
+        buf = io.BytesIO()
+        count = _write(buf)
+        atomic_write_bytes(path_or_file, buf.getvalue())
+        return count
     return _write(path_or_file)
 
 

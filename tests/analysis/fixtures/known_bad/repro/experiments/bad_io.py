@@ -1,0 +1,15 @@
+"""IO001 fixture: raw artifact writes that can tear on a crash.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+import json
+from pathlib import Path
+
+
+def dump(doc: dict, path: str) -> None:
+    with open(path, "w") as fh:     # line 10: IO001 (raw write-mode open)
+        json.dump(doc, fh)          # line 11: IO001 (raw json.dump)
+
+
+def note(path: Path, text: str) -> None:
+    path.write_text(text)           # line 15: IO001 (.write_text)

@@ -1,0 +1,14 @@
+"""DET002 fixture: wall-clock and environment reads in kernel code.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+import os
+import time
+
+
+def stamp() -> float:
+    return time.time()              # line 10: DET002 (wall clock)
+
+
+def knob() -> str:
+    return os.environ["REPRO_X"]    # line 14: DET002 (environment)

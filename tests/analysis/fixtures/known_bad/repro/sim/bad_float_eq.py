@@ -1,0 +1,12 @@
+"""NUM001 fixture: float equality in kernel code.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+
+
+def due(now_s: float, deadline_s: float) -> bool:
+    return now_s == deadline_s      # line 8: NUM001 (unit-suffix idents)
+
+
+def exhausted(budget: float) -> bool:
+    return budget == 0.0            # line 12: NUM001 (float literal)

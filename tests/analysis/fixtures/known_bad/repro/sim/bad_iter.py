@@ -1,0 +1,13 @@
+"""DET003 fixture: hash-ordered iteration in kernel code.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+
+
+def drain(ids: list[str], table: dict[str, float]) -> list[float]:
+    out = []
+    for name in set(ids):           # line 9: DET003 (set iteration)
+        out.append(table[name])
+    for key in table.keys():        # line 11: DET003 (.keys() iteration)
+        out.append(table[key])
+    return out

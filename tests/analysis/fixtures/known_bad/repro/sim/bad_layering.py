@@ -1,0 +1,7 @@
+"""ARCH001 fixture: a kernel module reaching up into the harness layer.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+from repro.experiments.runner import run_simulation  # line 5: ARCH001
+
+__all__ = ["run_simulation"]

@@ -1,0 +1,16 @@
+"""DET001 fixture: global-state RNG draws in kernel code.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py —
+keep the offending statements where they are.
+"""
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()          # line 12: DET001 (random.*)
+
+
+def burst(n: int) -> "np.ndarray":
+    return np.random.rand(n)        # line 16: DET001 (np.random.<fn>)

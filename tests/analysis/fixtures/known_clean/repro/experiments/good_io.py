@@ -1,0 +1,16 @@
+"""Clean-artifact fixture: reads freely, publishes atomically.
+tests/analysis/test_rules.py asserts zero findings here.
+"""
+import json
+from pathlib import Path
+
+from repro.util.atomicio import atomic_write_text
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:          # read-mode open is fine
+        return json.load(fh)
+
+
+def dump(doc: dict, path: Path) -> Path:
+    return atomic_write_text(path, json.dumps(doc, sort_keys=True))

@@ -1,0 +1,31 @@
+"""Clean-kernel fixture: the sanctioned counterpart of every known_bad
+pattern.  tests/analysis/test_rules.py asserts zero findings here.
+"""
+import math
+import time
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def fresh(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def elapsed() -> float:
+    # perf_counter is telemetry-only and explicitly allowed by DET002
+    return time.perf_counter()
+
+
+def drain(ids: list[str], table: dict[str, float]) -> list[float]:
+    out = [table[name] for name in sorted(set(ids))]
+    for key in table:           # dict iteration: insertion order, allowed
+        out.append(table[key])
+    return out
+
+
+def due(now_s: float, deadline_s: float) -> bool:
+    return math.isclose(now_s, deadline_s) or now_s > deadline_s

@@ -1,0 +1,119 @@
+"""Engine behaviour: pragmas, parse errors, name resolution, scoping."""
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.core import ModuleInfo, _module_name
+
+
+def _kernel_module(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / "repro" / "sim" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+# ----------------------------------------------------------------------
+# pragma suppression
+# ----------------------------------------------------------------------
+def test_justified_pragma_suppresses_and_records_why(tmp_path):
+    path = _kernel_module(tmp_path,
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # repro: allow[DET002] boot banner only\n")
+    result = lint_paths([path], root=tmp_path)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+    finding, why = result.suppressed[0]
+    assert finding.code == "DET002" and finding.line == 5
+    assert why == "boot banner only"
+
+
+def test_unjustified_pragma_keeps_finding_and_flags_pragma(tmp_path):
+    path = _kernel_module(tmp_path,
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # repro: allow[DET002]\n")
+    result = lint_paths([path], root=tmp_path)
+    codes = sorted(f.code for f in result.findings)
+    assert codes == ["DET002", "PRAGMA001"]
+    assert not result.suppressed
+
+
+def test_stale_pragma_is_flagged(tmp_path):
+    path = _kernel_module(tmp_path,
+        "def nothing():\n"
+        "    return 1  # repro: allow[DET002] there is no clock here\n")
+    result = lint_paths([path], root=tmp_path)
+    assert [f.code for f in result.findings] == ["PRAGMA002"]
+    assert result.findings[0].line == 2
+
+
+def test_pragma_only_suppresses_named_codes(tmp_path):
+    # the pragma names NUM001, so the DET002 finding on the line survives
+    path = _kernel_module(tmp_path,
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # repro: allow[NUM001] wrong code\n")
+    result = lint_paths([path], root=tmp_path)
+    codes = sorted(f.code for f in result.findings)
+    assert codes == ["DET002", "PRAGMA002"]
+
+
+def test_pragma_in_docstring_is_not_a_pragma(tmp_path):
+    path = _kernel_module(tmp_path,
+        '"""Docs quoting `# repro: allow[DET002] example` are inert."""\n'
+        "def nothing():\n"
+        "    return 1\n")
+    result = lint_paths([path], root=tmp_path)
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# parse errors
+# ----------------------------------------------------------------------
+def test_syntax_error_yields_parse_finding(tmp_path):
+    path = _kernel_module(tmp_path, "def broken(:\n    pass\n")
+    result = lint_paths([path], root=tmp_path)
+    assert [f.code for f in result.findings] == ["PARSE001"]
+    assert result.files_checked == 1
+
+
+# ----------------------------------------------------------------------
+# module naming + resolution
+# ----------------------------------------------------------------------
+def test_module_name_uses_last_repro_segment():
+    assert _module_name(Path("src/repro/sim/engine.py")) == "repro.sim.engine"
+    assert (_module_name(Path("tests/x/fixtures/known_bad/repro/sim/a.py"))
+            == "repro.sim.a")
+    assert _module_name(Path("src/repro/obs/__init__.py")) == "repro.obs"
+    assert _module_name(Path("elsewhere/tool.py")) == "tool"
+
+
+def test_resolve_follows_import_aliases():
+    source = ("import numpy as np\n"
+              "from repro.obs import events as ev\n"
+              "x = np.random.default_rng\n"
+              "y = ev.FAULT_INJECT\n")
+    info = ModuleInfo(Path("repro/sim/m.py"), "repro/sim/m.py", source)
+    import ast
+
+    assigns = [n.value for n in ast.walk(info.tree)
+               if isinstance(n, ast.Assign)]
+    assert info.resolve(assigns[0]) == "numpy.random.default_rng"
+    assert info.resolve(assigns[1]) == "repro.obs.events.FAULT_INJECT"
+
+
+def test_type_checking_imports_are_exempt_from_layering(tmp_path):
+    path = _kernel_module(tmp_path,
+        "from typing import TYPE_CHECKING\n"
+        "\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.experiments.runner import ExperimentConfig\n")
+    result = lint_paths([path], root=tmp_path)
+    assert [f.code for f in result.findings] == []

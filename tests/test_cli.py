@@ -117,6 +117,22 @@ class TestTelemetryFlags:
         assert "per disk" in out
         assert "request.complete" in out
 
+    def test_obs_summarize_json_document(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--policy", "read", "--disks", "4",
+                     "--trace-out", str(path), *SMALL]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "summarize", "--json", str(path)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["source"] == str(path)
+        assert doc["total_events"] > 0
+        assert doc["unknown_types"] == []
+        assert any(row["event"] == "request.complete" for row in doc["by_type"])
+        assert {row["disk"] for row in doc["by_disk"]} == {0, 1, 2, 3}
+
     def test_obs_summarize_missing_file(self, capsys):
         rc = main(["obs", "summarize", "/nonexistent/trace.jsonl"])
         assert rc == 2
