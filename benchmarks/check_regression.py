@@ -31,11 +31,22 @@ DEFAULT_THRESHOLD = 0.20
 #: has leaked into the emission path.
 MAX_TRACING_OVERHEAD = 5.0
 
+#: Hard floor on the batched (SoA) kernel rate: 3x the object-path
+#: kernel's committed 1.07M events/sec.  Unlike the relative threshold
+#: below, this is an absolute gate — the vectorized kernel must never
+#: drift back toward per-object dispatch speed.
+FLOOR_KERNEL_EVENTS_PER_SEC = 3_220_000
+
 #: metric name -> True if higher is better.  ``cell_obs_off_s`` is the
 #: obs-disabled guard: the telemetry hooks must not slow the default
 #: (no-subscriber) path beyond the ordinary threshold.
+#: ``kernel_events_per_sec`` is the batched SoA kernel (per-disk lane
+#: updates drained through :class:`~repro.sim.soa.BatchTicker`);
+#: ``kernel_events_per_sec_object`` is the object-dispatch kernel
+#: (self-rescheduling tick through the event heap).
 _METRICS = {
     "kernel_events_per_sec": True,
+    "kernel_events_per_sec_object": True,
     "sweep8_serial_s": False,
     "sweep8_jobs4_s": False,
     "cell_obs_off_s": False,
@@ -94,6 +105,24 @@ def tracing_overhead(current: dict, *,
     return []
 
 
+def kernel_floor(current: dict, *,
+                 floor: float = FLOOR_KERNEL_EVENTS_PER_SEC) -> list[str]:
+    """Absolute floor on the batched kernel rate (3x the object path).
+
+    Returns an empty list when the metric is absent (old result files)
+    — the relative :func:`compare` gate still applies to those.
+    """
+    if not floor > 0.0:
+        raise ValueError(f"floor must be > 0, got {floor!r}")
+    if "kernel_events_per_sec" not in current:
+        return []
+    rate = float(current["kernel_events_per_sec"])
+    if rate < floor:
+        return [f"kernel floor: {rate:g} events/sec below the "
+                f"{floor:g} absolute floor (3x object path)"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     results_path = Path(args[0]) if args else RESULTS_PATH
@@ -103,7 +132,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     current = json.loads(results_path.read_text(encoding="utf-8"))
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    problems = compare(current, baseline) + tracing_overhead(current)
+    problems = (compare(current, baseline) + tracing_overhead(current)
+                + kernel_floor(current))
     if problems:
         for line in problems:
             print(f"REGRESSION {line}")

@@ -16,8 +16,15 @@ from repro.disk.parameters import (
     cheetah_two_speed,
 )
 from repro.disk.thermal import ThermalModel, steady_temperature_from_rpm
-from repro.disk.energy import DiskPowerState, EnergyMeter
+from repro.disk.energy import DiskPowerState, EnergyMeter, N_POWER_STATES, STATE_INDEX
 from repro.disk.stats import DiskStats
+from repro.disk.state import (
+    ArraySnapshot,
+    ArrayState,
+    SoADiskStats,
+    SoAEnergyMeter,
+    SoAThermalModel,
+)
 from repro.disk.drive import Job, TwoSpeedDrive, DrivePhase, QueueDiscipline
 from repro.disk.array import DiskArray
 from repro.disk.striping import PAPER_STRIPE_UNIT_MB, StripeChunk, StripeLayout
@@ -31,7 +38,14 @@ __all__ = [
     "steady_temperature_from_rpm",
     "DiskPowerState",
     "EnergyMeter",
+    "N_POWER_STATES",
+    "STATE_INDEX",
     "DiskStats",
+    "ArraySnapshot",
+    "ArrayState",
+    "SoADiskStats",
+    "SoAEnergyMeter",
+    "SoAThermalModel",
     "Job",
     "TwoSpeedDrive",
     "DrivePhase",

@@ -17,7 +17,7 @@ from repro.util.validation import require_non_negative
 
 _INF = math.inf
 
-__all__ = ["DiskPowerState", "EnergyMeter"]
+__all__ = ["DiskPowerState", "EnergyMeter", "STATE_INDEX", "N_POWER_STATES"]
 
 
 class DiskPowerState(enum.Enum):
@@ -39,6 +39,14 @@ class DiskPowerState(enum.Enum):
         if active:
             return DiskPowerState.ACTIVE_HIGH if speed is DiskSpeed.HIGH else DiskPowerState.ACTIVE_LOW
         return DiskPowerState.IDLE_HIGH if speed is DiskSpeed.HIGH else DiskPowerState.IDLE_LOW
+
+
+#: Dense column index of each power state in struct-of-arrays ledgers
+#: (definition order; see :class:`repro.disk.state.ArrayState`).
+STATE_INDEX: dict[DiskPowerState, int] = {s: i for i, s in enumerate(DiskPowerState)}
+
+#: Number of power-distinguishable states (column count of SoA ledgers).
+N_POWER_STATES = len(DiskPowerState)
 
 
 class EnergyMeter:

@@ -1,0 +1,431 @@
+"""Struct-of-arrays state for a disk array (the "soa" kernel backend).
+
+Motivation
+----------
+The object backend keeps every per-disk quantity in per-drive Python
+objects (:class:`~repro.disk.energy.EnergyMeter` dicts,
+:class:`~repro.disk.thermal.ThermalModel` floats,
+:class:`~repro.disk.stats.DiskStats` counters).  Anything that wants the
+*array-level* view — the PRESS rescoring sweep, the telemetry sampler,
+end-of-run aggregation — must walk ``n_disks`` objects attribute by
+attribute.  This module flips the layout: one :class:`ArrayState` holds
+contiguous NumPy buffers (one row / slot per disk) and the drive objects
+become thin views over their slot, so whole-array reads are single
+vectorized expressions and snapshots are one ``np.copy`` per buffer.
+
+Bit-identity contract
+---------------------
+The write-back ledgers (:class:`SoAEnergyMeter`, :class:`SoAThermalModel`,
+:class:`SoADiskStats`) *inherit* the object ledgers' hot path unchanged
+— every per-event accumulation runs the identical scalar arithmetic on
+identical Python storage, so per-event cost stays at object-path speed
+(a NumPy scalar indexed read-modify-write is ~10x a dict/attribute
+update and measurably slowed whole runs when tried).  Each ledger's
+``sync()`` then publishes its accumulators into the shared buffers as a
+lossless float64 copy; ``TwoSpeedDrive.finalize()`` syncs, and every
+vectorized reader (sampler snapshot, PRESS ``factors_of_state``,
+whole-array totals) reads only after an array-wide finalize.  A run on
+the SoA backend is therefore bit-identical to the object backend by
+construction; the equivalence suite
+(``tests/experiments/test_soa_equivalence.py``) enforces it anyway.
+
+Two deliberate non-vectorizations back the contract on the read side:
+
+* the thermal update keeps scalar ``math.exp`` per accounting edge —
+  ``np.exp`` is *not* bit-identical to ``math.exp`` on SIMD builds;
+* whole-array reductions that feed results (total energy) sum in the
+  same order as the object path (per-state chain per disk, then disks
+  in index order), never via ``np.sum``'s pairwise tree.
+
+Vectorized reads — the mean-temperature / utilization / transition-rate
+gathers consumed by :meth:`repro.press.model.PRESSModel.evaluate_array`
+— are elementwise float64 expressions, which are bit-identical to the
+per-disk scalar forms (verified by the equivalence suite).
+
+Batched kernel step
+-------------------
+:meth:`ArrayState.batch_step` is the vectorized tick: request admission,
+queue drain, energy accrual, and thermal relaxation for *all* disks as
+array ops, one kernel dispatch per tick (see
+:class:`repro.sim.soa.BatchTicker`).  It operates on the same buffers
+but integrates a homogeneous fixed-timestep (fluid) form of the model,
+so it is the throughput workhorse — the ``kernel_events_per_sec`` bench
+measures per-disk updates through this step — and the substrate for
+coarse large-array capacity modeling, while the exact event-driven path
+writes the same buffers per event edge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.disk.energy import (
+    N_POWER_STATES,
+    STATE_INDEX,
+    DiskPowerState,
+    EnergyMeter,
+)
+from repro.disk.parameters import TwoSpeedDiskParams
+from repro.disk.stats import DiskStats
+from repro.disk.thermal import DEFAULT_TAU_S, ThermalModel
+from repro.util.units import SECONDS_PER_DAY
+from repro.util.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    import numpy.typing as npt
+
+__all__ = [
+    "ArrayState",
+    "ArraySnapshot",
+    "SoAEnergyMeter",
+    "SoAThermalModel",
+    "SoADiskStats",
+    "PHASE_IDLE",
+    "PHASE_BUSY",
+    "PHASE_TRANSITIONING",
+    "PHASE_FAILED",
+    "PHASE_NAMES",
+    "SPEED_NAMES",
+]
+
+_INF = math.inf
+_exp = math.exp
+
+#: Dense phase codes mirrored into :attr:`ArrayState.phase_code`.
+#: Order matches :class:`repro.disk.drive.DrivePhase` definition order;
+#: :data:`PHASE_NAMES` carries the matching ``DrivePhase.value`` strings.
+PHASE_IDLE = 0
+PHASE_BUSY = 1
+PHASE_TRANSITIONING = 2
+PHASE_FAILED = 3
+
+PHASE_NAMES: tuple[str, ...] = ("idle", "busy", "transitioning", "failed")
+
+#: Speed-code names; index matches ``int(DiskSpeed)`` (LOW=0, HIGH=1).
+SPEED_NAMES: tuple[str, ...] = ("low", "high")
+
+_ACTIVE_LOW_I = STATE_INDEX[DiskPowerState.ACTIVE_LOW]
+_ACTIVE_HIGH_I = STATE_INDEX[DiskPowerState.ACTIVE_HIGH]
+
+
+class ArraySnapshot:
+    """One frozen whole-array operating point (plain arrays, no views).
+
+    Produced by :meth:`ArrayState.snapshot`; every field is a fresh copy
+    so later simulation progress cannot mutate a taken sample.
+    """
+
+    __slots__ = ("time_s", "utilization_pct", "temperature_c", "speed_code",
+                 "phase_code", "queue_depth", "energy_j")
+
+    def __init__(self, time_s: float, utilization_pct: np.ndarray,
+                 temperature_c: np.ndarray, speed_code: np.ndarray,
+                 phase_code: np.ndarray, queue_depth: np.ndarray,
+                 energy_j: np.ndarray) -> None:
+        self.time_s = time_s
+        self.utilization_pct = utilization_pct
+        self.temperature_c = temperature_c
+        self.speed_code = speed_code
+        self.phase_code = phase_code
+        self.queue_depth = queue_depth
+        self.energy_j = energy_j
+
+
+class ArrayState:
+    """Contiguous per-disk state buffers shared by a whole array.
+
+    One row (or slot) per disk:
+
+    * ``energy_time_s`` / ``energy_j`` — ``(n, 5)`` residence time and
+      energy per :class:`~repro.disk.energy.DiskPowerState` (column
+      order = :data:`~repro.disk.energy.STATE_INDEX`);
+    * ``temp_c`` / ``thermal_integral_c_s`` / ``thermal_elapsed_s`` —
+      the first-order thermal trajectory and its exact time integral;
+    * ``mb_served`` / ``requests_served`` / ``internal_jobs_served`` /
+      ``speed_transitions`` — the :class:`~repro.disk.stats.DiskStats`
+      counters;
+    * ``queue_depth`` / ``speed_code`` / ``phase_code`` — the live
+      operating point mirrored by the drive state machine;
+    * ``start_time_s`` — slot creation time (power-on reference);
+    * ``backlog_mb`` — outstanding work of the batched fluid tick
+      (:meth:`batch_step`); stays zero on the exact event-driven path.
+
+    The exact path publishes into the slots through the ``SoA*``
+    write-back ledgers at every ``finalize()``; the batched path
+    mutates whole columns per tick.  The two write modes are exclusive
+    per ``ArrayState`` instance — ``batch_step`` overwrites what the
+    ledgers published and vice versa.
+    """
+
+    def __init__(self, n_disks: int, params: TwoSpeedDiskParams, *,
+                 tau_s: float = DEFAULT_TAU_S) -> None:
+        require(n_disks >= 1, f"n_disks must be >= 1, got {n_disks}")
+        require_positive(tau_s, "tau_s")
+        self.n_disks = n_disks
+        self.params = params
+        self.tau_s = float(tau_s)
+
+        self.energy_time_s = np.zeros((n_disks, N_POWER_STATES), dtype=np.float64)
+        self.energy_j = np.zeros((n_disks, N_POWER_STATES), dtype=np.float64)
+        self.temp_c = np.zeros(n_disks, dtype=np.float64)
+        self.thermal_integral_c_s = np.zeros(n_disks, dtype=np.float64)
+        self.thermal_elapsed_s = np.zeros(n_disks, dtype=np.float64)
+        self.mb_served = np.zeros(n_disks, dtype=np.float64)
+        self.requests_served = np.zeros(n_disks, dtype=np.int64)
+        self.internal_jobs_served = np.zeros(n_disks, dtype=np.int64)
+        self.speed_transitions = np.zeros(n_disks, dtype=np.int64)
+        self.queue_depth = np.zeros(n_disks, dtype=np.int64)
+        self.speed_code = np.zeros(n_disks, dtype=np.int8)
+        self.phase_code = np.zeros(n_disks, dtype=np.int8)
+        self.start_time_s = np.zeros(n_disks, dtype=np.float64)
+        self.backlog_mb = np.zeros(n_disks, dtype=np.float64)
+
+        # per-speed lookup tables for the batched tick (index = speed code)
+        low, high = params.low, params.high
+        self._transfer_mb_s = np.array([low.transfer_mb_s, high.transfer_mb_s])
+        self._idle_w = np.array([low.idle_w, high.idle_w])
+        self._active_w = np.array([low.active_w, high.active_w])
+        self._steady_c = np.array([low.steady_temp_c, high.steady_temp_c])
+
+    # ------------------------------------------------------------------
+    # vectorized whole-array reads (bit-identical to the per-disk forms)
+    # ------------------------------------------------------------------
+    def active_time_s(self) -> "npt.NDArray[np.float64]":
+        """Per-disk transfer time at either speed (utilization numerator)."""
+        return (self.energy_time_s[:, _ACTIVE_LOW_I]
+                + self.energy_time_s[:, _ACTIVE_HIGH_I])
+
+    def utilization_pct(self, now_s: float) -> "npt.NDArray[np.float64]":
+        """Per-disk utilization percent at simulated time ``now_s``.
+
+        Matches ``100.0 * TwoSpeedDrive.utilization()`` bit for bit:
+        ``min(active / power_on, 1.0) * 100`` with a zero-elapsed guard.
+        """
+        elapsed = now_s - self.start_time_s
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.minimum(self.active_time_s() / elapsed, 1.0)
+        return np.where(elapsed > 0.0, util, 0.0) * 100.0
+
+    def mean_temperature_c(self) -> "npt.NDArray[np.float64]":
+        """Per-disk time-weighted mean temperature (instantaneous at t=0)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean = self.thermal_integral_c_s / self.thermal_elapsed_s
+        return np.where(self.thermal_elapsed_s > 0.0, mean, self.temp_c)
+
+    def transitions_per_day(self, duration_s: float) -> "npt.NDArray[np.float64]":
+        """Per-disk transition count normalized to a daily rate."""
+        require_positive(duration_s, "duration_s")
+        return self.speed_transitions * SECONDS_PER_DAY / duration_s
+
+    def total_energy_j_per_disk(self) -> "npt.NDArray[np.float64]":
+        """Per-disk total energy, summed in power-state definition order.
+
+        The chained elementwise adds reproduce the object meter's
+        ``sum(energy_j.values())`` order exactly, so each entry is
+        bit-identical to ``EnergyMeter.total_energy_j`` for that disk.
+        """
+        e = self.energy_j
+        total = e[:, 0] + e[:, 1]
+        for col in range(2, N_POWER_STATES):
+            total = total + e[:, col]
+        return total
+
+    def total_energy_j(self) -> float:
+        """Array-wide energy; disk-index summation order matches
+        ``sum(d.energy.total_energy_j for d in drives)`` exactly."""
+        total = 0.0
+        for value in self.total_energy_j_per_disk().tolist():  # repro: allow[NUM002] bit-identity: must reduce in the object path's disk order, not np.sum's pairwise order
+            total += value
+        return total
+
+    def snapshot(self, now_s: float) -> ArraySnapshot:
+        """Freeze the whole-array operating point: one copy per buffer.
+
+        Flush the ledgers first (``DiskArray.finalize``) so the energy
+        and temperature columns are exact as of ``now_s``.
+        """
+        return ArraySnapshot(
+            time_s=now_s,
+            utilization_pct=self.utilization_pct(now_s),
+            temperature_c=self.temp_c.copy(),
+            speed_code=self.speed_code.copy(),
+            phase_code=self.phase_code.copy(),
+            queue_depth=self.queue_depth.copy(),
+            energy_j=self.total_energy_j_per_disk(),
+        )
+
+    # ------------------------------------------------------------------
+    # the batched kernel step (fixed-timestep fluid form of the model)
+    # ------------------------------------------------------------------
+    def batch_step(self, dt: float,
+                   arrivals_mb: "npt.NDArray[np.float64] | None" = None) -> int:
+        """Advance every disk by one ``dt`` tick with array ops only.
+
+        One call performs, across all ``n_disks`` slots at once:
+
+        * **admission** — ``arrivals_mb`` (per-disk MB of new work) joins
+          the outstanding ``backlog_mb``;
+        * **queue drain** — each up disk serves
+          ``min(backlog, transfer_rate(speed) * dt)``;
+        * **energy accrual** — active/idle wattage at the disk's speed,
+          split by the fraction of the tick spent transferring, charged
+          into the same per-state ledger columns the exact path uses;
+        * **thermal relaxation** — the closed-form exponential approach
+          toward the speed's steady temperature, with the exact time
+          integral accumulated.
+
+        Returns the number of per-disk lane updates performed (one per
+        disk), which is what the batched-kernel throughput benchmark
+        counts.  The fluid tick is *not* the exact event-driven path —
+        it has no per-request queueing — so it backs throughput
+        benchmarking and coarse capacity modeling, never
+        :class:`~repro.experiments.metrics.SimulationResult` numbers.
+        """
+        if not (dt > 0.0) or dt == _INF:
+            require_positive(dt, "dt")
+        n = self.n_disks
+        speed = self.speed_code
+        # failed slots exist only after fault injection / explicit marking;
+        # FAILED (3) is the largest phase code, so one max() detects them
+        any_failed = int(self.phase_code.max()) == PHASE_FAILED
+
+        backlog = self.backlog_mb
+        if arrivals_mb is not None:
+            backlog += arrivals_mb
+        rate = self._transfer_mb_s[speed]
+        capacity = rate * dt
+        if any_failed:
+            up = self.phase_code != PHASE_FAILED
+            capacity = capacity * up
+        served = np.minimum(backlog, capacity)
+        backlog -= served
+        self.mb_served += served
+
+        # transfer rates are strictly positive, so capacity only hits
+        # zero on failed slots — guard the division just for that case
+        if any_failed:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                busy_frac = np.where(capacity > 0.0, served / capacity, 0.0)
+        else:
+            busy_frac = served / capacity
+        active_dt = busy_frac * dt
+        idle_dt = dt - active_dt
+        if any_failed:
+            idle_dt *= up
+
+        # split the tick into the four speed x activity ledger columns
+        # via boolean mask products (cheaper than fancy-index scatters)
+        high = speed.view(np.bool_)   # speed codes are 0/1 in int8
+        low = ~high
+        il = idle_dt * low
+        ih = idle_dt * high
+        al = active_dt * low
+        ah = active_dt * high
+        t = self.energy_time_s
+        e = self.energy_j
+        t[:, 0] += il
+        t[:, 1] += ih
+        t[:, 2] += al
+        t[:, 3] += ah
+        e[:, 0] += self._idle_w[0] * il
+        e[:, 1] += self._idle_w[1] * ih
+        e[:, 2] += self._active_w[0] * al
+        e[:, 3] += self._active_w[1] * ah
+
+        steady = self._steady_c[speed]
+        if any_failed:
+            steady = np.where(up, steady, self.temp_c)
+        decay = _exp(-dt / self.tau_s)
+        t0 = self.temp_c
+        delta = t0 - steady
+        self.temp_c = steady + delta * decay
+        self.thermal_integral_c_s += steady * dt + delta * (self.tau_s * (1.0 - decay))
+        self.thermal_elapsed_s += dt
+
+        busy = served > 0.0
+        if any_failed:
+            phase = np.where(up, busy.view(np.int8), np.int8(PHASE_FAILED))
+            self.phase_code = phase.astype(np.int8, copy=False)
+        else:
+            # PHASE_IDLE/PHASE_BUSY are 0/1: the busy mask IS the phase
+            self.phase_code = busy.view(np.int8)
+        self.queue_depth = np.ceil(backlog / rate).astype(np.int64)
+        return n
+
+
+# ----------------------------------------------------------------------
+# write-back ledgers (object-ledger hot path, slot-backed reads)
+# ----------------------------------------------------------------------
+class SoAEnergyMeter(EnergyMeter):
+    """An :class:`EnergyMeter` that publishes into an ``ArrayState`` row.
+
+    The per-event hot path (``accumulate`` on every accounting edge) is
+    *inherited unchanged* — Python-dict accumulators, because a NumPy
+    scalar indexed read-modify-write costs ~10x a dict update and would
+    slow whole event-driven runs by ~30%.  :meth:`sync` copies the dict
+    values into the slot row; every vectorized reader goes through
+    ``DiskArray.finalize()``, which syncs first, so the buffers are
+    exact whenever they are read.  Bit-identity is structural: the
+    arithmetic *is* the object meter's, and the sync is a lossless
+    float64 copy.
+    """
+
+    def __init__(self, params: TwoSpeedDiskParams, state: ArrayState,
+                 disk_id: int) -> None:
+        super().__init__(params)
+        self._time_row = state.energy_time_s[disk_id]
+        self._energy_row = state.energy_j[disk_id]
+
+    def sync(self) -> None:
+        """Publish the accumulators into the array slot (lossless copy)."""
+        # dict insertion order == DiskPowerState definition order == column order
+        self._time_row[:] = list(self._time_s.values())
+        self._energy_row[:] = list(self._energy_j.values())
+
+
+class SoAThermalModel(ThermalModel):
+    """A :class:`ThermalModel` that publishes into ``ArrayState`` slots.
+
+    ``advance`` (and its scalar ``math.exp`` — ``np.exp`` is not
+    bit-identical on SIMD builds) is inherited unchanged; :meth:`sync`
+    writes the trajectory triple into the shared buffers.
+    """
+
+    def __init__(self, state: ArrayState, disk_id: int, *,
+                 initial_c: float, tau_s: float = DEFAULT_TAU_S) -> None:
+        super().__init__(initial_c=initial_c, tau_s=tau_s)
+        self._soa = state
+        self._i = disk_id
+        self.sync()
+
+    def sync(self) -> None:
+        """Publish temperature, integral, and elapsed time into the slot."""
+        state, i = self._soa, self._i
+        state.temp_c[i] = self._temp_c
+        state.thermal_integral_c_s[i] = self._integral_c_s
+        state.thermal_elapsed_s[i] = self._elapsed_s
+
+
+class SoADiskStats(DiskStats):
+    """A :class:`DiskStats` that publishes into ``ArrayState`` slots.
+
+    Counters stay plain Python ints/floats (the recorders are inherited
+    unchanged); the per-day transition histogram stays a dict (sparse,
+    never whole-array read).  :meth:`sync` publishes the four counters
+    whole-array readers consume.
+    """
+
+    def __init__(self, state: ArrayState, disk_id: int) -> None:  # noqa: D107
+        super().__init__(disk_id)
+        self._state = state
+
+    def sync(self) -> None:
+        """Publish the scalar counters into the array slot."""
+        state, i = self._state, self.disk_id
+        state.mb_served[i] = self.mb_served
+        state.requests_served[i] = self.requests_served
+        state.internal_jobs_served[i] = self.internal_jobs_served
+        state.speed_transitions[i] = self.speed_transitions_total

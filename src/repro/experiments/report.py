@@ -93,11 +93,12 @@ def _runtime_section(fig7: Figure7Results) -> str:
     if not any(r.events_executed
                for runs in fig7.results.values() for r in runs):
         return ""
-    header = ["policy", "disks", "events", "wall s", "events/s"]
+    header = ["policy", "disks", "backend", "events", "wall s", "events/s"]
     rows = []
     for policy, runs in fig7.results.items():
         for n, result in zip(fig7.disk_counts, runs):
-            rows.append([policy, str(n), str(result.events_executed),
+            rows.append([policy, str(n), result.kernel_backend,
+                         str(result.events_executed),
                          f"{result.wall_clock_s:.2f}",
                          f"{result.events_per_sec:.3g}"])
     return "### Simulation runtime\n\n" + _md_table(header, rows)

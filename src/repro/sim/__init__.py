@@ -14,6 +14,7 @@ library).
 """
 
 from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.soa import BatchTicker
 from repro.sim.timers import ResettableTimer, PeriodicTask
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "SimulationError",
     "ResettableTimer",
     "PeriodicTask",
+    "BatchTicker",
 ]

@@ -1,0 +1,12 @@
+"""NUM002 fixture: per-element Python loops over SoA buffers.
+
+Line numbers are asserted exactly by tests/analysis/test_rules.py.
+"""
+
+
+def total_energy(state) -> float:
+    out = 0.0
+    for value in state.energy_j:                 # line 9: NUM002 (buffer attr)
+        out += value
+    temps = [t for t in state.temp_c.tolist()]   # line 11: NUM002 (.tolist())
+    return out + sum(temps)

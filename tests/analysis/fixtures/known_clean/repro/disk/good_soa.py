@@ -1,0 +1,12 @@
+"""NUM002 clean counterpart: whole-array expressions over SoA buffers."""
+
+import numpy as np
+
+
+def total_energy(state) -> float:
+    # vectorized reduction — no per-element Python loop
+    return float(np.add.reduce(state.energy_j, axis=None))
+
+
+def hottest_disk(state) -> int:
+    return int(np.argmax(state.temp_c))

@@ -38,6 +38,8 @@ EXPECTED = {
                ("known_bad/repro/obs/bad_emit.py", 10)],
     "NUM001": [("known_bad/repro/sim/bad_float_eq.py", 8),
                ("known_bad/repro/sim/bad_float_eq.py", 12)],
+    "NUM002": [("known_bad/repro/disk/bad_soa_loop.py", 9),
+               ("known_bad/repro/disk/bad_soa_loop.py", 11)],
     "ARCH001": [("known_bad/repro/sim/bad_layering.py", 5)],
 }
 
@@ -71,7 +73,7 @@ def test_rule_is_silent_on_clean_tree(code):
 def test_known_clean_is_fully_clean():
     result = lint_paths([CLEAN], root=FIXTURES)
     assert result.findings == []
-    assert result.files_checked == 3
+    assert result.files_checked == 4
 
 
 # ----------------------------------------------------------------------

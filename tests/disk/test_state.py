@@ -1,0 +1,248 @@
+"""Struct-of-arrays state: buffers, write-back ledgers, batched tick.
+
+The cross-backend *result* equivalence lives in
+``tests/experiments/test_soa_equivalence.py``; this module unit-tests
+the :mod:`repro.disk.state` layer itself — buffer layout, the ledger
+write-back contract, the vectorized whole-array reads against their
+scalar counterparts, and the semantics of the batched fluid tick.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.disk.energy import DiskPowerState, EnergyMeter, N_POWER_STATES
+from repro.disk.parameters import DiskSpeed, cheetah_two_speed
+from repro.disk.state import (
+    PHASE_BUSY,
+    PHASE_FAILED,
+    PHASE_IDLE,
+    PHASE_NAMES,
+    SPEED_NAMES,
+    ArrayState,
+    SoADiskStats,
+    SoAEnergyMeter,
+    SoAThermalModel,
+)
+from repro.disk.stats import DiskStats
+from repro.disk.thermal import ThermalModel
+
+PARAMS = cheetah_two_speed()
+
+
+@pytest.fixture
+def state():
+    return ArrayState(4, PARAMS)
+
+
+class TestArrayStateLayout:
+    def test_buffer_shapes_and_dtypes(self, state):
+        assert state.energy_time_s.shape == (4, N_POWER_STATES)
+        assert state.energy_j.shape == (4, N_POWER_STATES)
+        for name in ("temp_c", "thermal_integral_c_s", "thermal_elapsed_s",
+                     "mb_served", "start_time_s", "backlog_mb"):
+            buf = getattr(state, name)
+            assert buf.shape == (4,) and buf.dtype == np.float64, name
+        for name in ("requests_served", "internal_jobs_served",
+                     "speed_transitions", "queue_depth"):
+            buf = getattr(state, name)
+            assert buf.shape == (4,) and buf.dtype == np.int64, name
+        assert state.speed_code.dtype == np.int8
+        assert state.phase_code.dtype == np.int8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ArrayState(0, PARAMS)
+        with pytest.raises(ValueError):
+            ArrayState(4, PARAMS, tau_s=0.0)
+
+    def test_name_tables_cover_the_codes(self):
+        assert len(SPEED_NAMES) == 2
+        assert len(PHASE_NAMES) == 4
+        assert PHASE_NAMES[PHASE_IDLE] == "idle"
+        assert PHASE_NAMES[PHASE_FAILED] == "failed"
+
+
+class TestWriteBackLedgers:
+    """The SoA ledgers inherit the object hot path; sync() publishes."""
+
+    def test_energy_meter_matches_object_meter_bitwise(self, state):
+        soa = SoAEnergyMeter(PARAMS, state, disk_id=1)
+        obj = EnergyMeter(PARAMS)
+        intervals = [(DiskPowerState.IDLE_HIGH, 3.25),
+                     (DiskPowerState.ACTIVE_HIGH, 0.125),
+                     (DiskPowerState.TRANSITION, 6.0),
+                     (DiskPowerState.ACTIVE_LOW, 0.7),
+                     (DiskPowerState.IDLE_LOW, 11.1)]
+        for power_state, dt in intervals:
+            soa.accumulate(power_state, dt)
+            obj.accumulate(power_state, dt)
+        soa.sync()
+        assert soa.total_energy_j == obj.total_energy_j
+        assert soa.total_time_s == obj.total_time_s
+        # and the published row is a lossless copy of the accumulators
+        row = state.energy_j[1]
+        for power_state in DiskPowerState:
+            assert soa.energy_j(power_state) == obj.energy_j(power_state)
+        assert state.total_energy_j_per_disk()[1] == obj.total_energy_j
+        assert float(row.sum()) == pytest.approx(obj.total_energy_j)
+
+    def test_energy_sync_only_touches_own_slot(self, state):
+        a = SoAEnergyMeter(PARAMS, state, disk_id=0)
+        b = SoAEnergyMeter(PARAMS, state, disk_id=2)
+        a.accumulate(DiskPowerState.ACTIVE_HIGH, 2.0)
+        a.sync()
+        b.sync()
+        assert state.energy_time_s[0].sum() > 0.0
+        assert state.energy_time_s[2].sum() == 0.0
+        assert state.energy_time_s[1].sum() == 0.0
+
+    def test_thermal_model_matches_object_model_bitwise(self, state):
+        soa = SoAThermalModel(state, 3, initial_c=40.0)
+        obj = ThermalModel(initial_c=40.0)
+        for dt, steady in [(10.0, 55.22), (3.5, 46.0), (700.0, 55.22)]:
+            assert soa.advance(dt, steady) == obj.advance(dt, steady)
+        assert soa.mean_temperature_c() == obj.mean_temperature_c()
+        soa.sync()
+        assert float(state.temp_c[3]) == obj.temperature_c
+        assert state.mean_temperature_c()[3] == obj.mean_temperature_c()
+
+    def test_thermal_ctor_publishes_initial_temperature(self, state):
+        SoAThermalModel(state, 2, initial_c=51.5)
+        assert float(state.temp_c[2]) == 51.5
+
+    def test_stats_match_object_stats(self, state):
+        soa = SoADiskStats(state, 1)
+        obj = DiskStats(1)
+        for recorder in (soa, obj):
+            recorder.record_service(10.0, internal=False)
+            recorder.record_service(2.5, internal=True)
+            recorder.record_transition(100.0)
+        soa.sync()
+        assert int(state.requests_served[1]) == obj.requests_served == 1
+        assert int(state.internal_jobs_served[1]) == obj.internal_jobs_served == 1
+        assert float(state.mb_served[1]) == obj.mb_served == 12.5
+        assert int(state.speed_transitions[1]) == obj.speed_transitions_total == 1
+        assert soa.max_transitions_per_day() == obj.max_transitions_per_day()
+
+
+class TestVectorizedReads:
+    """Whole-array expressions equal the per-disk scalar forms bitwise."""
+
+    def _populated(self):
+        state = ArrayState(3, PARAMS)
+        models = [SoAThermalModel(state, i, initial_c=40.0 + i) for i in range(3)]
+        meters = [SoAEnergyMeter(PARAMS, state, i) for i in range(3)]
+        for i, (model, meter) in enumerate(zip(models, meters)):
+            model.advance(5.0 * (i + 1), 55.22)
+            meter.accumulate(DiskPowerState.ACTIVE_HIGH, 0.25 * (i + 1))
+            meter.accumulate(DiskPowerState.IDLE_HIGH, 9.0)
+            model.sync()
+            meter.sync()
+        return state, models, meters
+
+    def test_mean_temperature_matches_scalar(self):
+        state, models, _ = self._populated()
+        batch = state.mean_temperature_c()
+        for i, model in enumerate(models):
+            assert batch[i] == model.mean_temperature_c()
+
+    def test_utilization_matches_scalar(self):
+        state, _, meters = self._populated()
+        now = 12.0
+        batch = state.utilization_pct(now)
+        for i, meter in enumerate(meters):
+            expected = 100.0 * min(meter.active_time_s / now, 1.0)
+            assert batch[i] == expected
+
+    def test_utilization_zero_elapsed_guard(self):
+        state = ArrayState(2, PARAMS)
+        state.start_time_s[:] = 5.0
+        assert list(state.utilization_pct(5.0)) == [0.0, 0.0]
+
+    def test_total_energy_matches_object_reduction_order(self):
+        state, _, meters = self._populated()
+        expected = sum(m.total_energy_j for m in meters)
+        assert state.total_energy_j() == expected
+
+    def test_snapshot_is_a_frozen_copy(self):
+        state, _, _ = self._populated()
+        snap = state.snapshot(12.0)
+        before = snap.temperature_c.copy()
+        state.temp_c[:] = 0.0
+        assert np.array_equal(snap.temperature_c, before)
+        assert snap.time_s == 12.0
+
+
+class TestBatchStep:
+    def test_rejects_bad_dt(self, state):
+        with pytest.raises(ValueError):
+            state.batch_step(0.0)
+        with pytest.raises(ValueError):
+            state.batch_step(-1.0)
+        with pytest.raises(ValueError):
+            state.batch_step(math.inf)
+
+    def test_idle_tick_accrues_idle_energy_only(self, state):
+        state.speed_code[:] = 1
+        n = state.batch_step(2.0)
+        assert n == 4
+        assert np.all(state.phase_code == PHASE_IDLE)
+        idle_high_j = PARAMS.high.idle_w * 2.0
+        assert np.allclose(state.energy_j[:, 1], idle_high_j)
+        assert np.all(state.energy_j[:, [0, 2, 3, 4]] == 0.0)
+        assert np.all(state.mb_served == 0.0)
+
+    def test_drain_serves_up_to_capacity(self, state):
+        state.speed_code[:] = 1
+        rate = PARAMS.high.transfer_mb_s
+        arrivals = np.array([0.0, rate * 0.5, rate * 2.0, rate * 10.0])
+        state.batch_step(1.0, arrivals)
+        served = state.mb_served
+        assert served[0] == 0.0
+        assert served[1] == rate * 0.5
+        assert served[2] == rate          # capacity-bound
+        assert served[3] == rate
+        assert float(state.backlog_mb[3]) == pytest.approx(rate * 9.0)
+        assert state.phase_code[0] == PHASE_IDLE
+        assert all(state.phase_code[1:] == PHASE_BUSY)
+        assert state.queue_depth[3] == 9
+
+    def test_busy_fraction_splits_energy(self, state):
+        state.speed_code[:] = 1
+        rate = PARAMS.high.transfer_mb_s
+        state.batch_step(1.0, np.full(4, rate * 0.25))
+        assert np.allclose(state.energy_time_s[:, 3], 0.25)   # active_high
+        assert np.allclose(state.energy_time_s[:, 1], 0.75)   # idle_high
+        assert np.allclose(state.energy_j[:, 3], PARAMS.high.active_w * 0.25)
+
+    def test_thermal_relaxes_toward_speed_steady_state(self, state):
+        state.speed_code[:] = 1
+        state.temp_c[:] = 30.0
+        steady = PARAMS.high.steady_temp_c
+        state.batch_step(100.0)
+        assert np.all(state.temp_c > 30.0)
+        assert np.all(state.temp_c < steady)
+        # matches the scalar closed form bit for bit
+        expected = steady + (30.0 - steady) * math.exp(-100.0 / state.tau_s)
+        assert np.all(state.temp_c == expected)
+
+    def test_failed_lane_is_inert(self, state):
+        state.speed_code[:] = 1
+        state.phase_code[2] = PHASE_FAILED
+        t_before = float(state.temp_c[2])
+        state.batch_step(1.0, np.full(4, 1.0))
+        assert state.mb_served[2] == 0.0
+        assert state.phase_code[2] == PHASE_FAILED
+        assert float(state.temp_c[2]) == t_before
+        assert state.energy_time_s[2].sum() == 0.0
+        # live lanes still served their arrivals
+        assert state.mb_served[0] == 1.0
+        assert state.phase_code[0] == PHASE_BUSY
+
+    def test_speed_mix_uses_per_speed_tables(self, state):
+        state.speed_code[:] = [0, 0, 1, 1]
+        state.batch_step(1.0)
+        assert np.allclose(state.energy_j[:2, 0], PARAMS.low.idle_w)
+        assert np.allclose(state.energy_j[2:, 1], PARAMS.high.idle_w)

@@ -1,0 +1,98 @@
+"""BatchTicker: the deterministic clock of the batched kernel step."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.soa import BatchTicker
+
+
+def make_ticker(sim, *, n_lanes=8, interval_s=1.0, **kwargs):
+    calls = []
+
+    def step(dt):
+        calls.append((sim.now, dt))
+        return n_lanes
+
+    ticker = BatchTicker(sim, n_lanes, step, interval_s, **kwargs)
+    return ticker, calls
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BatchTicker(sim, 0, lambda dt: 0, 1.0)
+        with pytest.raises(ValueError):
+            BatchTicker(sim, 4, lambda dt: 4, 0.0)
+        with pytest.raises(ValueError):
+            BatchTicker(sim, 4, lambda dt: 4, 1.0, max_ticks=0)
+
+    def test_double_start_raises(self):
+        sim = Simulator()
+        ticker, _ = make_ticker(sim, max_ticks=1)
+        ticker.start()
+        with pytest.raises(SimulationError):
+            ticker.start()
+
+
+class TestTicking:
+    def test_fires_on_the_exact_grid(self):
+        sim = Simulator()
+        ticker, calls = make_ticker(sim, interval_s=0.25, max_ticks=4)
+        ticker.start()
+        sim.run_until_drained()
+        assert [t for t, _ in calls] == [0.25, 0.5, 0.75, 1.0]
+        assert all(dt == 0.25 for _, dt in calls)
+        assert ticker.ticks == 4
+        assert not ticker.running
+
+    def test_grid_is_multiplicative_not_accumulated(self):
+        # 0.1 is inexact in binary; k * 0.1 and repeated +0.1 differ.
+        # The grid must be the multiplicative one so run length never
+        # changes past tick times.
+        sim = Simulator()
+        ticker, calls = make_ticker(sim, interval_s=0.1, max_ticks=1000)
+        ticker.start()
+        sim.run_until_drained()
+        assert calls[-1][0] == 1000 * 0.1
+        acc = 0.0
+        for _ in range(1000):
+            acc += 0.1
+        assert calls[-1][0] != acc  # repro: allow[NUM001] demonstrating the two float forms differ
+
+    def test_counts_lane_updates(self):
+        sim = Simulator()
+        ticker, _ = make_ticker(sim, n_lanes=16, max_ticks=10)
+        ticker.start()
+        sim.run_until_drained()
+        assert ticker.lane_updates == 160
+
+    def test_stop_cancels_future_ticks(self):
+        sim = Simulator()
+        ticker, calls = make_ticker(sim, interval_s=1.0)
+        ticker.start()
+        sim.schedule(3.5, ticker.stop)
+        sim.run_until_drained()
+        assert ticker.ticks == 3
+        assert not ticker.running
+
+    def test_restart_after_stop_rebases_the_grid(self):
+        sim = Simulator()
+        ticker, calls = make_ticker(sim, interval_s=1.0, max_ticks=2)
+        ticker.start()
+        sim.run_until_drained()
+        assert [t for t, _ in calls] == [1.0, 2.0]
+        ticker.start()  # origin is now 2.0
+        sim.run_until_drained()
+        assert [t for t, _ in calls] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_interleaves_with_other_events_by_priority(self):
+        sim = Simulator()
+        order = []
+        ticker = BatchTicker(sim, 1, lambda dt: order.append("tick") or 1, 1.0,
+                             max_ticks=1)
+        ticker.start()
+        # same instant, model priority 0 < tick priority 10
+        sim.schedule(1.0, lambda: order.append("model"), priority=0)
+        sim.run_until_drained()
+        assert order == ["model", "tick"]
