@@ -33,7 +33,7 @@ import numpy as np
 
 from conftest import RESULTS_DIR, record_table
 from check_regression import (BASELINE_PATH, compare, kernel_floor,
-                              tracing_overhead)
+                              stream_floor, tracing_overhead)
 from repro.disk.parameters import cheetah_two_speed
 from repro.disk.state import ArrayState
 from repro.experiments.parallel import RunSpec, run_cells
@@ -60,6 +60,18 @@ SWEEP_POLICIES = ("read", "maid")
 SWEEP_DISK_COUNTS = (6, 8, 10, 12)
 SWEEP_WORKLOAD = SyntheticWorkloadConfig(n_files=1_000, n_requests=30_000,
                                          seed=7, bursty=True)
+
+#: The streamed/sharded measurement: one 16-disk cell split into 4
+#: shards, run serially over the chunked (never-materialized) workload.
+STREAM_WORKLOAD = SyntheticWorkloadConfig(n_files=2_000, n_requests=100_000,
+                                          seed=7, bursty=True)
+STREAM_DISKS = 16
+STREAM_SHARDS = 4
+
+#: The merge measurement: fixed-order reduction of a 64-disk cell's 16
+#: shard partials into one SimulationResult.
+MERGE_DISKS = 64
+MERGE_SHARDS = 16
 
 
 def measure_batch_events_per_sec(n_disks: int = BATCH_DISKS,
@@ -139,6 +151,47 @@ def measure_cell_s(obs: ObsConfig | None = None, repeats: int = 2) -> float:
     return best
 
 
+def measure_stream_requests_per_sec(repeats: int = 2) -> float:
+    """Best-of-N requests/sec through the streamed sharded path, end to
+    end: chunked generation, filtered per-shard dispatch, SoA kernels,
+    open-ledger capture, and the fixed-order merge — all serial."""
+    from repro.experiments.shard import run_sharded
+
+    best = 0.0
+    for _ in range(repeats):
+        start = perf_counter()
+        result, _summary = run_sharded("static-high", STREAM_WORKLOAD,
+                                       n_disks=STREAM_DISKS,
+                                       n_shards=STREAM_SHARDS)
+        rate = result.n_requests / (perf_counter() - start)
+        best = max(best, rate)
+    return best
+
+
+def measure_shard_merge_s(repeats: int = 3) -> float:
+    """Best-of-N wall-clock for merging one 64-disk / 16-shard cell.
+
+    The shard partials are produced once outside the timer; only
+    :func:`~repro.experiments.shard.merge_shard_results` — ledger closes
+    at the global horizon, PRESS re-scoring, fixed-order reductions —
+    is measured."""
+    from repro.experiments.parallel import run_cell
+    from repro.experiments.shard import (ShardCellSpec, ShardPlan,
+                                         merge_shard_results)
+
+    plan = ShardPlan(n_disks=MERGE_DISKS, n_shards=MERGE_SHARDS)
+    partials = [run_cell(RunSpec(policy="static-high", n_disks=MERGE_DISKS,
+                                 workload=STREAM_WORKLOAD,
+                                 shard=ShardCellSpec(plan, s)))
+                for s in range(MERGE_SHARDS)]
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        merge_shard_results(partials)
+        best = min(best, perf_counter() - start)
+    return best
+
+
 def _write_results(results: dict) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "throughput.json"
@@ -155,6 +208,8 @@ def test_throughput(benchmark):
     with tempfile.TemporaryDirectory() as td:
         cell_traced_s = measure_cell_s(
             ObsConfig(trace_path=str(Path(td) / "trace.jsonl")))
+    stream_rps = measure_stream_requests_per_sec()
+    shard_merge_s = measure_shard_merge_s()
     benchmark.pedantic(lambda: batch_events_per_sec, rounds=1, iterations=1)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
@@ -165,6 +220,8 @@ def test_throughput(benchmark):
         "sweep8_jobs4_s": round(jobs4_s, 3),
         "cell_obs_off_s": round(cell_obs_off_s, 3),
         "cell_traced_s": round(cell_traced_s, 3),
+        "stream_requests_per_sec": round(stream_rps),
+        "shard_merge_s": round(shard_merge_s, 4),
     }
     _write_results(current)
 
@@ -189,11 +246,17 @@ def test_throughput(benchmark):
         f"{'1 cell, traced [s]':<28}{cell_traced_s:>12.2f}"
         f"{baseline.get('cell_traced_s', float('nan')):>12.2f}"
         f"{'':>12}",
+        f"{'streamed shard req/sec':<28}{stream_rps:>12,.0f}"
+        f"{baseline.get('stream_requests_per_sec', float('nan')):>12,.0f}"
+        f"{'':>12}",
+        f"{'64d/16s merge [ms]':<28}{shard_merge_s * 1e3:>12.2f}"
+        f"{baseline.get('shard_merge_s', float('nan')) * 1e3:>12.2f}"
+        f"{'':>12}",
     ]
     record_table("Throughput: event kernel and 8-cell sweep", "\n".join(lines))
 
     regressions = (compare(current, baseline) + tracing_overhead(current)
-                   + kernel_floor(current))
+                   + kernel_floor(current) + stream_floor(current))
     assert not regressions, "; ".join(regressions)
     # Acceptance (SoA kernel): the batched rate beats the object path's
     # committed rate by >= 3x on the same host, same run.

@@ -37,6 +37,20 @@ MAX_TRACING_OVERHEAD = 5.0
 #: drift back toward per-object dispatch speed.
 FLOOR_KERNEL_EVENTS_PER_SEC = 3_220_000
 
+#: Hard floor on the streamed sharded dispatch rate (requests/sec end to
+#: end: chunked generation + filtered dispatch + per-shard kernels +
+#: merge, serial).  Committed measurements sit around 60-70k on the
+#: reference host; the floor is set far below that so only a structural
+#: slowdown (e.g. the stream path accidentally materializing, or
+#: per-request overhead creeping into the chunk loop) can trip it.
+FLOOR_STREAM_REQUESTS_PER_SEC = 15_000
+
+#: Absolute ceiling on merging one 64-disk / 16-shard cell.  Measured
+#: around 2 ms; the ceiling is two orders above because ms-scale timers
+#: swing with host load, but a merge that takes a large fraction of a
+#: second means the fixed-order reduction grew accidental O(n^2) work.
+MAX_SHARD_MERGE_S = 0.25
+
 #: metric name -> True if higher is better.  ``cell_obs_off_s`` is the
 #: obs-disabled guard: the telemetry hooks must not slow the default
 #: (no-subscriber) path beyond the ordinary threshold.
@@ -51,6 +65,8 @@ _METRICS = {
     "sweep8_jobs4_s": False,
     "cell_obs_off_s": False,
     "cell_traced_s": False,
+    "stream_requests_per_sec": True,
+    "shard_merge_s": False,
 }
 
 
@@ -123,6 +139,34 @@ def kernel_floor(current: dict, *,
     return []
 
 
+def stream_floor(current: dict, *,
+                 floor: float = FLOOR_STREAM_REQUESTS_PER_SEC,
+                 merge_ceiling: float = MAX_SHARD_MERGE_S) -> list[str]:
+    """Absolute gates on the streamed sharded path.
+
+    Both checks skip silently when their metric is absent (old result
+    files); the relative :func:`compare` gate still applies.
+    """
+    if not floor > 0.0:
+        raise ValueError(f"floor must be > 0, got {floor!r}")
+    if not merge_ceiling > 0.0:
+        raise ValueError(f"merge_ceiling must be > 0, got {merge_ceiling!r}")
+    problems: list[str] = []
+    if "stream_requests_per_sec" in current:
+        rate = float(current["stream_requests_per_sec"])
+        if rate < floor:
+            problems.append(
+                f"stream floor: {rate:g} requests/sec below the "
+                f"{floor:g} absolute floor")
+    if "shard_merge_s" in current:
+        merge_s = float(current["shard_merge_s"])
+        if merge_s > merge_ceiling:
+            problems.append(
+                f"shard merge: {merge_s:g}s above the "
+                f"{merge_ceiling:g}s absolute ceiling (64 disks, 16 shards)")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     results_path = Path(args[0]) if args else RESULTS_PATH
@@ -133,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     current = json.loads(results_path.read_text(encoding="utf-8"))
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
     problems = (compare(current, baseline) + tracing_overhead(current)
-                + kernel_floor(current))
+                + kernel_floor(current) + stream_floor(current))
     if problems:
         for line in problems:
             print(f"REGRESSION {line}")

@@ -282,7 +282,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     disk_counts = [int(d) for d in args.disks.split(",")]
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
                               faults=_faults_config(args), jobs=args.jobs,
-                              resilience=resilience, checkpoint=checkpoint)
+                              resilience=resilience, checkpoint=checkpoint,
+                              shards=args.shards,
+                              shard_assignment=args.assignment,
+                              stream_chunk=args.stream_chunk)
+    if args.shards is not None:
+        print(f"sharded execution: {args.shards} shard(s) per cell, "
+              f"{args.assignment} assignment, streamed workload")
     _print_comparison(fig7, policies, args.baseline)
     summary = fig7.resilience
     if summary is not None:
@@ -490,6 +496,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the markdown report here")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="log per-cell sweep progress to stderr")
+    shard_group = p_sweep.add_argument_group("sharding")
+    shard_group.add_argument("--shards", type=int, default=None, metavar="N",
+                             help="split each array into N independent disk "
+                                  "groups simulated as separate streamed "
+                                  "sub-cells and merged bit-identically "
+                                  "(must divide every --disks entry; "
+                                  "incompatible with fault injection)")
+    shard_group.add_argument("--assignment", default="affinity",
+                             choices=("affinity", "round-robin"),
+                             help="file-to-shard assignment: 'affinity' "
+                                  "follows the static size-ranked layout "
+                                  "(sharded == unsharded for static "
+                                  "policies); 'round-robin' spreads by id")
+    shard_group.add_argument("--stream-chunk", type=int, default=None,
+                             metavar="REQUESTS",
+                             help="requests generated per streamed chunk "
+                                  "(bounds workload memory; default 65536)")
     res_group = p_sweep.add_argument_group("resilience")
     res_group.add_argument("--checkpoint", default=None, metavar="FILE",
                            help="journal completed cells here (created if "

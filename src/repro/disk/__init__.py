@@ -25,6 +25,7 @@ from repro.disk.state import (
     SoAEnergyMeter,
     SoAThermalModel,
 )
+from repro.disk.ledger import ClosedDiskLedger, OpenDiskLedger
 from repro.disk.drive import Job, TwoSpeedDrive, DrivePhase, QueueDiscipline
 from repro.disk.array import DiskArray
 from repro.disk.striping import PAPER_STRIPE_UNIT_MB, StripeChunk, StripeLayout
@@ -41,6 +42,8 @@ __all__ = [
     "N_POWER_STATES",
     "STATE_INDEX",
     "DiskStats",
+    "OpenDiskLedger",
+    "ClosedDiskLedger",
     "ArraySnapshot",
     "ArrayState",
     "SoADiskStats",

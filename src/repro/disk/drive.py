@@ -35,7 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.disk.energy import DiskPowerState, EnergyMeter
+from repro.disk.energy import STATE_INDEX, DiskPowerState, EnergyMeter
+from repro.disk.ledger import OpenDiskLedger
 from repro.disk.parameters import AMBIENT_TEMPERATURE_C, DiskSpeed, TwoSpeedDiskParams
 from repro.disk.state import (
     ArrayState,
@@ -344,6 +345,50 @@ class TwoSpeedDrive:
             self.energy.accumulate(state, dt)
             self.thermal.advance(dt, steady_c)
             self._last_account_s = now
+
+    def open_ledger(self) -> OpenDiskLedger:
+        """Capture the raw accumulator state *without* the final flush.
+
+        Used by sharded runs (``repro.experiments.shard``): the shard's
+        sub-simulation stops at its local end time, but the merged
+        result must charge each disk's final open interval up to the
+        *global* end time in a single accounting step — exactly what
+        :meth:`finalize` would have done there.  The returned ledger is
+        picklable and :meth:`~repro.disk.ledger.OpenDiskLedger.close`
+        performs that step with bit-identical arithmetic.
+
+        Valid on both kernel backends: the SoA ledgers keep the object
+        hot-path accumulators current, so the capture reads the same
+        values either way.
+        """
+        energy, thermal, stats = self.energy, self.thermal, self.stats
+        if self._phase is DrivePhase.FAILED:
+            state_index: Optional[int] = None
+            power_w = 0.0
+            steady_c = AMBIENT_TEMPERATURE_C
+        else:
+            state = self._current_power_state()
+            state_index = STATE_INDEX[state]
+            power_w = energy.power_w(state)
+            steady_c = self._steady_temp_c()
+        return OpenDiskLedger(
+            disk_id=self.disk_id,
+            last_account_s=self._last_account_s,
+            time_s=tuple(energy.time_s(s) for s in DiskPowerState),
+            energy_j=tuple(energy.energy_j(s) for s in DiskPowerState),
+            state_index=state_index,
+            power_w=power_w,
+            steady_c=steady_c,
+            temp_c=thermal.temperature_c,
+            integral_c_s=thermal.integral_c_s,
+            elapsed_s=thermal.elapsed_s,
+            tau_s=thermal.tau_s,
+            requests_served=stats.requests_served,
+            internal_jobs_served=stats.internal_jobs_served,
+            mb_served=stats.mb_served,
+            transitions_total=stats.speed_transitions_total,
+            transitions_by_day=tuple(sorted(stats.transitions_by_day.items())),
+        )
 
     def finalize(self) -> None:
         """Flush accounting up to the current simulation time.

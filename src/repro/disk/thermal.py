@@ -78,6 +78,21 @@ class ThermalModel:
         """Total time integrated so far."""
         return self._elapsed_s
 
+    @property
+    def tau_s(self) -> float:
+        """The thermal time constant this model integrates with."""
+        return self._tau
+
+    @property
+    def integral_c_s(self) -> float:
+        """Exact integral of T dt so far (degC * s).
+
+        ``mean_temperature_c() == integral_c_s / elapsed_s``; exposed so
+        deferred end-of-run closes (:mod:`repro.disk.ledger`) can capture
+        the raw accumulator and finish the integral elsewhere.
+        """
+        return self._integral_c_s
+
     def advance(self, dt: float, steady_c: float) -> float:
         """Advance ``dt`` seconds toward steady temperature ``steady_c``.
 

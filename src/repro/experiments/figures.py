@@ -135,7 +135,10 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        obs: ObsConfig | None = None,
                        jobs: int = 1,
                        resilience: ResilienceConfig | None = None,
-                       checkpoint=None) -> Figure7Results:
+                       checkpoint=None,
+                       shards: int | None = None,
+                       shard_assignment: str = "affinity",
+                       stream_chunk: int | None = None) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
     ``policy_kwargs`` maps policy name -> config overrides (used by the
@@ -154,9 +157,26 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     checkpoint are restored instead of re-run and the harness fault
     ledger lands in :attr:`Figure7Results.resilience`.  Results are
     identical with or without the engine.
+
+    ``shards`` switches every cell to sharded streamed execution (see
+    :mod:`repro.experiments.shard`): each array is split into ``shards``
+    disk groups simulated independently (one shard sub-cell each, so the
+    pool/checkpoint machinery applies per *shard*, not per cell) and
+    merged in fixed reduction order.  ``shards`` must divide every entry
+    of ``disk_counts``; incompatible with ``faults``/``obs``.
+    ``stream_chunk`` bounds streamed-generation memory (requests per
+    chunk; ``None`` = the stream layer's default).
     """
     cfg = config or ExperimentConfig()
     kwargs = policy_kwargs or {}
+    if shards is not None:
+        return _figure7_sharded(cfg, disk_counts=disk_counts,
+                                policies=policies, press=press,
+                                policy_kwargs=kwargs, faults=faults, obs=obs,
+                                jobs=jobs, resilience=resilience,
+                                checkpoint=checkpoint, shards=shards,
+                                assignment=shard_assignment,
+                                stream_chunk=stream_chunk)
     specs = [
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=kwargs.get(name, {}),
@@ -176,6 +196,65 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     per_policy = len(disk_counts)
     for i, name in enumerate(policies):
         results[name] = tuple(cells[i * per_policy:(i + 1) * per_policy])
+    return Figure7Results(disk_counts=tuple(disk_counts), results=results,
+                          resilience=summary)
+
+
+def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
+                     policies: Sequence[str], press: PRESSModel | None,
+                     policy_kwargs: dict[str, dict], faults, obs,
+                     jobs: int, resilience: ResilienceConfig | None,
+                     checkpoint, shards: int, assignment: str,
+                     stream_chunk: int | None) -> Figure7Results:
+    """The sharded arm of :func:`figure7_comparison`.
+
+    Every (policy, disk count) cell fans out into ``shards`` streamed
+    sub-cells; ALL sub-cells of ALL cells go through one
+    ``run_cells``/``run_cells_resilient`` batch, so a single checkpoint
+    file and a single harness fault ledger cover the whole sweep, and
+    resume granularity is one shard.  The sub-cell results are then
+    grouped back per cell and merged in fixed reduction order.
+    """
+    from repro.experiments.shard import (
+        ShardCellSpec,
+        ShardPlan,
+        merge_shard_results,
+    )
+    from repro.workload.stream import DEFAULT_CHUNK_SIZE
+
+    require(faults is None,
+            "fault injection is not supported under sharding")
+    require(obs is None, "per-cell telemetry is not supported under sharding")
+    for n in disk_counts:
+        require(n % shards == 0,
+                f"shards ({shards}) must divide every disk count (got {n})")
+    chunk = stream_chunk if stream_chunk is not None else DEFAULT_CHUNK_SIZE
+    plans = {n: ShardPlan(n_disks=n, n_shards=shards, assignment=assignment)
+             for n in disk_counts}
+    specs = [
+        RunSpec(policy=name, n_disks=n, workload=cfg.workload,
+                policy_kwargs=policy_kwargs.get(name, {}),
+                disk_params=cfg.disk_params, press=press,
+                shard=ShardCellSpec(plans[n], s, chunk))
+        for name in policies for n in disk_counts for s in range(shards)
+    ]
+    summary: ResilienceSummary | None = None
+    if resilience is not None or checkpoint is not None:
+        from repro.experiments.resilience import run_cells_resilient
+
+        raw, summary = run_cells_resilient(
+            specs, jobs=jobs, config=resilience, checkpoint=checkpoint)
+    else:
+        raw = run_cells(specs, jobs=jobs)
+    results: dict[str, tuple[SimulationResult, ...]] = {}
+    per_policy = len(disk_counts) * shards
+    for i, name in enumerate(policies):
+        merged = []
+        for j in range(len(disk_counts)):
+            lo = i * per_policy + j * shards
+            group = raw[lo:lo + shards]
+            merged.append(merge_shard_results(group, press=press))  # type: ignore[arg-type]
+        results[name] = tuple(merged)
     return Figure7Results(disk_counts=tuple(disk_counts), results=results,
                           resilience=summary)
 

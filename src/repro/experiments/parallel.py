@@ -27,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, cast
 
 from repro.disk.drive import QueueDiscipline
 from repro.disk.parameters import DiskSpeed, TwoSpeedDiskParams
@@ -39,7 +39,10 @@ from repro.obs.log import get_logger
 from repro.press.model import PRESSModel
 from repro.util.validation import require
 from repro.workload.cache import cached_generate, workload_key
-from repro.workload.synthetic import SyntheticWorkloadConfig
+from repro.workload.stream import WorkloadLike
+
+if TYPE_CHECKING:
+    from repro.experiments.shard import ShardCellSpec
 
 __all__ = ["CellExecutionError", "RunSpec", "run_cell", "run_cells"]
 
@@ -84,7 +87,7 @@ class RunSpec:
 
     policy: str
     n_disks: int
-    workload: SyntheticWorkloadConfig
+    workload: WorkloadLike
     policy_kwargs: Mapping[str, object] = field(default_factory=dict)
     disk_params: Optional[TwoSpeedDiskParams] = None
     press: Optional[PRESSModel] = None
@@ -92,11 +95,20 @@ class RunSpec:
     queue_discipline: QueueDiscipline = QueueDiscipline.FCFS
     faults: Optional[FaultConfig] = None
     obs: Optional[ObsConfig] = None
+    #: Set on the sub-cells a sharded run fans out (see
+    #: :mod:`repro.experiments.shard`): the cell then simulates one shard
+    #: of the array over the *streamed* workload and returns a
+    #: ``ShardCellResult`` (an open partial result the shard merger
+    #: closes), not a ``SimulationResult``.  ``None`` = ordinary cell.
+    shard: "Optional[ShardCellSpec]" = None
 
     def label(self) -> str:
         """Compact human-readable cell name for errors and progress."""
         kwargs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.policy_kwargs.items()))
         suffix = f" [{kwargs}]" if kwargs else ""
+        if self.shard is not None:
+            suffix += (f" [shard {self.shard.index + 1}"
+                       f"/{self.shard.plan.n_shards}]")
         return f"{self.policy} x {self.n_disks} disks{suffix}"
 
 
@@ -110,7 +122,19 @@ class CellExecutionError(RuntimeError):
 
 
 def run_cell(spec: RunSpec) -> SimulationResult:
-    """Execute one cell in the current process."""
+    """Execute one cell in the current process.
+
+    Shard sub-cells (``spec.shard`` set) stream their workload and
+    return a ``ShardCellResult`` — an open partial result only
+    :func:`repro.experiments.shard.merge_shard_results` can consume.
+    The cast below keeps the common signature; only the shard fan-out
+    in :func:`~repro.experiments.shard.run_sharded` builds such specs,
+    and it knows the real type of what comes back.
+    """
+    if spec.shard is not None:
+        from repro.experiments.shard import run_shard_cell
+
+        return cast(SimulationResult, run_shard_cell(spec))
     fileset, trace = cached_generate(spec.workload)
     policy = make_policy(spec.policy, **dict(spec.policy_kwargs))
     return run_simulation(policy, fileset, trace, n_disks=spec.n_disks,
@@ -168,7 +192,11 @@ def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1,
 
     # Materialize every distinct workload once in the parent: under the
     # fork start method the workers then share the arrays copy-on-write.
-    distinct = {workload_key(s.workload): s.workload for s in spec_list}
+    # Shard sub-cells are excluded — they exist precisely to *stream*
+    # their workload, and materializing it here would defeat the
+    # constant-memory contract.
+    distinct = {workload_key(s.workload): s.workload
+                for s in spec_list if s.shard is None}
     for workload in distinct.values():
         cached_generate(workload)
 

@@ -91,7 +91,7 @@ def spec_key(spec: RunSpec) -> str:
     """
     kwargs = tuple(sorted(dict(spec.policy_kwargs).items(),
                           key=lambda kv: str(kv[0])))
-    payload = (
+    payload: tuple = (
         spec.policy,
         spec.n_disks,
         kwargs,
@@ -103,6 +103,14 @@ def spec_key(spec: RunSpec) -> str:
         spec.faults,
         spec.obs,
     )
+    # Appended only when set so every pre-sharding checkpoint key is
+    # unchanged.  A shard sub-cell keys on (plan, shard index) but *not*
+    # on its chunk size: chunking changes iteration granularity, never
+    # the produced result (same contract as the workload digest), so a
+    # sweep resumed under a different --stream-chunk reuses its
+    # checkpointed shards.
+    if spec.shard is not None:
+        payload = payload + (spec.shard.plan, spec.shard.index)
     return hashlib.sha256(pickle.dumps(payload, protocol=4)).hexdigest()
 
 
@@ -503,8 +511,11 @@ class _Sweep:
     # -- pool path -----------------------------------------------------
     def run_pool(self) -> None:
         # Materialize every distinct workload once pre-fork (CoW share).
+        # Shard sub-cells stream their workload; materializing it here
+        # would defeat their constant-memory contract, so skip them.
         distinct = {workload_key(self.specs[i].workload): self.specs[i].workload
-                    for i, _, _ in self.pending}
+                    for i, _, _ in self.pending
+                    if self.specs[i].shard is None}
         for workload in distinct.values():
             cached_generate(workload)
 

@@ -37,6 +37,8 @@ import numpy as np
 from repro.util.atomicio import atomic_write_bytes, quarantine
 from repro.util.validation import require
 from repro.workload.files import FileSet
+from repro.workload.stream import (SyntheticStreamSpec, WC98StreamSpec,
+                                   WorkloadLike, materialize)
 from repro.workload.synthetic import SyntheticWorkloadConfig, WorldCupLikeWorkload
 from repro.workload.trace import Trace
 
@@ -50,14 +52,27 @@ CACHE_DIR_ENV = "REPRO_WORKLOAD_CACHE"
 DEFAULT_MAX_ENTRIES = 8
 
 
-def workload_key(config: SyntheticWorkloadConfig) -> str:
-    """Stable content digest of a workload config (sha256 hex).
+def workload_key(config: WorkloadLike) -> str:
+    """Stable content digest of a workload description (sha256 hex).
 
     Equal parameter values — not object identity — produce equal keys.
+    Stream specs digest their *canonical* content: a
+    :class:`SyntheticStreamSpec` keys identically to its underlying
+    config (streamed and materialized generation are bit-identical, so
+    they must share one cache entry), and no spec's key ever depends on
+    a chunk size — chunking changes iteration granularity, never the
+    produced trace.
     """
-    payload = asdict(config)
-    # dicts compare by content but iterate in insertion order; normalize
-    payload["size_kwargs"] = sorted(payload["size_kwargs"].items())
+    if isinstance(config, SyntheticStreamSpec):
+        config = config.config
+    if isinstance(config, WC98StreamSpec):
+        payload: dict = {"kind": "wc98", "path": config.path,
+                         "methods": list(config.methods),
+                         "min_size_bytes": config.min_size_bytes}
+    else:
+        payload = asdict(config)
+        # dicts compare by content but iterate in insertion order; normalize
+        payload["size_kwargs"] = sorted(payload["size_kwargs"].items())
     blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
@@ -90,8 +105,13 @@ class WorkloadCache:
         self._lru.clear()
 
     # ------------------------------------------------------------------
-    def get_or_generate(self, config: SyntheticWorkloadConfig) -> Tuple[FileSet, Trace]:
-        """Return the workload for ``config``, generating at most once."""
+    def get_or_generate(self, config: WorkloadLike) -> Tuple[FileSet, Trace]:
+        """Return the workload for ``config``, generating at most once.
+
+        Accepts stream specs as well as plain configs: the key is the
+        canonical content digest, so a spec's entry is shared with (and
+        bit-identical to) the materialized form's.
+        """
         key = workload_key(config)
         pair = self._lru.get(key)
         if pair is not None:
@@ -105,7 +125,10 @@ class WorkloadCache:
                 self._remember(key, pair)
                 return pair
         self.misses += 1
-        pair = WorldCupLikeWorkload(config).generate()
+        if isinstance(config, (SyntheticStreamSpec, WC98StreamSpec)):
+            pair = materialize(config)
+        else:
+            pair = WorldCupLikeWorkload(config).generate()
         self._remember(key, pair)
         if self._dir is not None:
             self._disk_save(key, pair)
@@ -178,6 +201,6 @@ def default_cache() -> WorkloadCache:
     return _default
 
 
-def cached_generate(config: SyntheticWorkloadConfig) -> Tuple[FileSet, Trace]:
+def cached_generate(config: WorkloadLike) -> Tuple[FileSet, Trace]:
     """Generate (or reuse) the workload for ``config`` via the default cache."""
     return default_cache().get_or_generate(config)
