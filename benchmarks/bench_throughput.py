@@ -13,7 +13,11 @@ the numbers stay comparable across commits:
   :func:`~repro.experiments.parallel.run_cells`, serial and ``jobs=4``;
 * one sweep cell (read x 8 disks) with telemetry off and with full
   event tracing to a JSONL file, guarding both the obs-disabled hot
-  path and the tracing-on overhead ratio.
+  path and the tracing-on overhead ratio;
+* one sharded cell (16 disks / 4 shards) with telemetry off and with
+  per-shard trace segments merged into one canonical trace, guarding
+  the shard tracing-overhead ratio (the sharded pair additionally
+  crosses the SoA->object backend switch, so it has its own cap).
 
 The committed reference numbers live in ``BENCH_throughput.json`` at the
 repo root; each run writes its fresh measurement to
@@ -168,6 +172,26 @@ def measure_stream_requests_per_sec(repeats: int = 2) -> float:
     return best
 
 
+def measure_shard_cell_s(traced: bool, repeats: int = 2) -> float:
+    """Best-of-N wall-clock for one sharded cell (16 disks / 4 shards),
+    with telemetry off or with per-shard trace segments plus the k-way
+    merge into one canonical trace (end to end, like ``sweep --shards``
+    with ``--trace-out``)."""
+    from repro.experiments.shard import run_sharded
+
+    best = float("inf")
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as td:
+            obs = (ObsConfig(trace_path=str(Path(td) / "trace.jsonl"))
+                   if traced else None)
+            start = perf_counter()
+            run_sharded("static-high", STREAM_WORKLOAD,
+                        n_disks=STREAM_DISKS, n_shards=STREAM_SHARDS,
+                        obs=obs)
+            best = min(best, perf_counter() - start)
+    return best
+
+
 def measure_shard_merge_s(repeats: int = 3) -> float:
     """Best-of-N wall-clock for merging one 64-disk / 16-shard cell.
 
@@ -210,6 +234,8 @@ def test_throughput(benchmark):
             ObsConfig(trace_path=str(Path(td) / "trace.jsonl")))
     stream_rps = measure_stream_requests_per_sec()
     shard_merge_s = measure_shard_merge_s()
+    shard_obs_off_s = measure_shard_cell_s(traced=False)
+    shard_traced_s = measure_shard_cell_s(traced=True)
     benchmark.pedantic(lambda: batch_events_per_sec, rounds=1, iterations=1)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
@@ -222,6 +248,8 @@ def test_throughput(benchmark):
         "cell_traced_s": round(cell_traced_s, 3),
         "stream_requests_per_sec": round(stream_rps),
         "shard_merge_s": round(shard_merge_s, 4),
+        "shard_obs_off_s": round(shard_obs_off_s, 3),
+        "shard_traced_s": round(shard_traced_s, 3),
     }
     _write_results(current)
 
@@ -251,6 +279,12 @@ def test_throughput(benchmark):
         f"{'':>12}",
         f"{'64d/16s merge [ms]':<28}{shard_merge_s * 1e3:>12.2f}"
         f"{baseline.get('shard_merge_s', float('nan')) * 1e3:>12.2f}"
+        f"{'':>12}",
+        f"{'16d/4s cell, obs off [s]':<28}{shard_obs_off_s:>12.2f}"
+        f"{baseline.get('shard_obs_off_s', float('nan')):>12.2f}"
+        f"{'':>12}",
+        f"{'16d/4s cell, traced [s]':<28}{shard_traced_s:>12.2f}"
+        f"{baseline.get('shard_traced_s', float('nan')):>12.2f}"
         f"{'':>12}",
     ]
     record_table("Throughput: event kernel and 8-cell sweep", "\n".join(lines))

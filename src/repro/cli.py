@@ -17,14 +17,19 @@ Five commands mirror the library's main entry points:
 * ``report``     — write a full markdown comparison report;
 * ``trace``      — generate/inspect traces and convert WC98 binary logs;
 * ``obs``        — inspect telemetry artifacts (``obs summarize`` rolls
-  a JSONL event trace up per event type and per disk; ``--json`` emits
-  the same rollup machine-readably);
+  one or more JSONL event traces — e.g. per-shard segments — up per
+  event type and per disk; ``obs status`` renders a live sweep status
+  file; ``--json`` emits the same view machine-readably);
 * ``lint``       — the determinism & invariant static-analysis suite
   (:mod:`repro.analysis`): exit 0 clean, 1 findings, 2 error.
 
-``simulate`` and ``compare`` accept telemetry flags (``--trace-out``,
-``--metrics-out``, ``--sample-interval``) that attach the
-:mod:`repro.obs` layer to the run.
+``simulate``, ``compare``, and ``sweep`` accept telemetry flags
+(``--trace-out``, ``--metrics-out``, ``--sample-interval``) that attach
+the :mod:`repro.obs` layer to the run; ``sweep`` additionally takes
+``--status-out`` for a crash-safe live progress feed folded from the
+harness span events.  Unsupported flag combinations (e.g. ``--faults``
+with ``--shards``) fail fast with a capability error before any cell
+runs.
 
 Every command is a pure function of its arguments (workloads are seeded)
 so CLI output is reproducible and scriptable.
@@ -254,6 +259,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_sweep_combos(args: argparse.Namespace) -> None:
+    """Fail fast, by flag name, on capability combos the engines reject.
+
+    The library layers raise the same refusals, but from deep inside a
+    worker process; surfacing them here turns a mid-sweep stack trace
+    into an immediate ``error: ...`` naming the offending flags.
+    """
+    if args.shards is not None and args.faults is not None:
+        raise ValueError(
+            "--faults cannot be combined with --shards: fault injection "
+            "needs the whole-array view (rebuilds and redirection cross "
+            "shard boundaries); drop one of the two flags")
+    if getattr(args, "profile", False) and args.shards is not None:
+        raise ValueError(
+            "--profile cannot be combined with --shards: kernel profiling "
+            "wraps one event loop, and a sharded cell runs several")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -267,6 +290,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         setup_logging()
     from repro.experiments.runner import ExperimentConfig
 
+    _validate_sweep_combos(args)
     checkpoint = args.resume or args.checkpoint
     if args.resume is not None and not Path(args.resume).exists():
         raise FileNotFoundError(
@@ -280,12 +304,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = ExperimentConfig(workload=_workload_config(args))
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
-    fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              faults=_faults_config(args), jobs=args.jobs,
-                              resilience=resilience, checkpoint=checkpoint,
-                              shards=args.shards,
-                              shard_assignment=args.assignment,
-                              stream_chunk=args.stream_chunk)
+    obs = _obs_config(args)
+    status_writer = None
+    bus = None
+    if args.status_out is not None:
+        from repro.obs import SweepStatusWriter, TraceBus
+
+        bus = TraceBus()
+        status_writer = SweepStatusWriter(args.status_out)
+        bus.subscribe(status_writer)
+        status_writer.publish(force=True)  # feed exists before cell one
+    try:
+        fig7 = figure7_comparison(config, disk_counts=disk_counts,
+                                  policies=policies,
+                                  faults=_faults_config(args), jobs=args.jobs,
+                                  resilience=resilience, checkpoint=checkpoint,
+                                  obs=obs, bus=bus,
+                                  shards=args.shards,
+                                  shard_assignment=args.assignment,
+                                  stream_chunk=args.stream_chunk)
+    except BaseException:
+        if status_writer is not None:
+            status_writer.finish(state="failed")
+        raise
+    if status_writer is not None:
+        status_writer.finish(state="done")
+        print(f"status feed -> {args.status_out}")
+    if obs is not None and (obs.trace_path or obs.metrics_path):
+        print("telemetry written per cell "
+              "(paths suffixed with -<policy>-<disks>)")
     if args.shards is not None:
         print(f"sharded execution: {args.shards} shard(s) per cell, "
               f"{args.assignment} assignment, streamed workload")
@@ -372,18 +419,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _expand_trace_paths(patterns: list[str]) -> list[str]:
+    """Expand globs (sorted, so shard segments merge deterministically);
+    literal paths pass through so missing-file errors stay precise."""
+    import glob as globmod
+
+    from repro.util.validation import require
+
+    paths: list[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matches = sorted(globmod.glob(pattern))
+            require(bool(matches), f"no trace files match {pattern!r}")
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    return paths
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs import format_summary, summarize_trace
-
     if args.obs_command == "summarize":
-        summary = summarize_trace(args.path)
+        from repro.obs import format_summary, summarize_traces
+
+        paths = _expand_trace_paths(args.paths)
+        summary = summarize_traces(paths)
+        source = ",".join(paths)
         if args.as_json:
-            doc = {"source": args.path, **summary.to_json()}
+            doc = {"source": source, **summary.to_json()}
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:
-            print(format_summary(summary, source=args.path))
+            print(format_summary(summary, source=source))
+        return 0
+    if args.obs_command == "status":
+        from repro.obs import format_status, read_status
+
+        doc = read_status(args.path)
+        if args.as_json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(format_status(doc))
         return 0
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
@@ -536,6 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "a hung cell dumps all thread stacks to "
                                 "stderr before being killed")
     _add_faults_arg(p_sweep)
+    _add_obs_args(p_sweep)
+    p_sweep.add_argument("--status-out", default=None, metavar="FILE",
+                         help="maintain a live JSON status feed here "
+                              "(atomic republish; read it with "
+                              "`repro obs status FILE`)")
     _add_workload_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -594,12 +675,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser("obs", help="inspect telemetry artifacts")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     o_sum = obs_sub.add_parser("summarize",
-                               help="per-disk / per-event-type rollup of a "
-                                    "JSONL event trace")
-    o_sum.add_argument("path", help="trace JSONL path")
+                               help="per-disk / per-event-type rollup of one "
+                                    "or more JSONL event traces")
+    o_sum.add_argument("paths", nargs="+", metavar="PATH",
+                       help="trace JSONL path(s); globs like "
+                            "'trace.shard*.jsonl' roll per-shard segments "
+                            "up as one array-wide view")
     o_sum.add_argument("--json", action="store_true", dest="as_json",
                        help="one machine-readable JSON document on stdout")
     o_sum.set_defaults(func=_cmd_obs)
+    o_stat = obs_sub.add_parser("status",
+                                help="render a sweep's live status feed "
+                                     "(from `repro sweep --status-out`)")
+    o_stat.add_argument("path", help="status JSON path")
+    o_stat.add_argument("--json", action="store_true", dest="as_json",
+                        help="echo the raw status document")
+    o_stat.set_defaults(func=_cmd_obs)
 
     p_lint = sub.add_parser(
         "lint",

@@ -116,6 +116,66 @@ class OpenDiskLedger:
     transitions_total: int
     transitions_by_day: tuple[tuple[int, int], ...]
 
+    @property
+    def total_energy_j(self) -> float:
+        """Energy accounted so far; same state order as the meter."""
+        return sum(self.energy_j)
+
+    @property
+    def active_time_s(self) -> float:
+        """ACTIVE_LOW + ACTIVE_HIGH residency accounted so far."""
+        return (self.time_s[_ACTIVE_LOW_IDX] + self.time_s[_ACTIVE_HIGH_IDX])
+
+    def advance(self, at_s: float) -> "OpenDiskLedger":
+        """Charge the open interval up to ``at_s``; keep the ledger open.
+
+        One accounting edge with the exact arithmetic of :meth:`close`
+        (one ``EnergyMeter.accumulate`` + one ``ThermalModel.advance``
+        over the interval), returning a new open ledger accounted up to
+        ``at_s``.  This is how the merge replays the sampler ticks an
+        early-draining shard never saw: splitting the residual interval
+        at the global tick instants reproduces the unsharded sampled
+        run's accounting edge sequence bit-for-bit.
+        """
+        require(at_s >= self.last_account_s,
+                f"cannot advance disk {self.disk_id} to t={at_s}: ledger is "
+                f"already accounted up to t={self.last_account_s}")
+        time_s = list(self.time_s)
+        energy_j = list(self.energy_j)
+        temp = self.temp_c
+        integral = self.integral_c_s
+        elapsed = self.elapsed_s
+        dt = at_s - self.last_account_s
+        if dt > 0.0:
+            if self.state_index is not None:
+                # mirrors EnergyMeter.accumulate(state, dt)
+                time_s[self.state_index] += dt
+                energy_j[self.state_index] += self.power_w * dt
+            # mirrors ThermalModel.advance(dt, steady_c)
+            decay = math.exp(-dt / self.tau_s)
+            t0 = temp
+            temp = self.steady_c + (t0 - self.steady_c) * decay
+            integral += self.steady_c * dt + (t0 - self.steady_c) * self.tau_s * (1.0 - decay)
+            elapsed += dt
+        return OpenDiskLedger(
+            disk_id=self.disk_id,
+            last_account_s=at_s,
+            time_s=tuple(time_s),
+            energy_j=tuple(energy_j),
+            state_index=self.state_index,
+            power_w=self.power_w,
+            steady_c=self.steady_c,
+            temp_c=temp,
+            integral_c_s=integral,
+            elapsed_s=elapsed,
+            tau_s=self.tau_s,
+            requests_served=self.requests_served,
+            internal_jobs_served=self.internal_jobs_served,
+            mb_served=self.mb_served,
+            transitions_total=self.transitions_total,
+            transitions_by_day=self.transitions_by_day,
+        )
+
     def close(self, at_s: float) -> ClosedDiskLedger:
         """Charge the open interval up to ``at_s`` and seal the ledgers.
 

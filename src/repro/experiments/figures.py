@@ -138,7 +138,8 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        checkpoint=None,
                        shards: int | None = None,
                        shard_assignment: str = "affinity",
-                       stream_chunk: int | None = None) -> Figure7Results:
+                       stream_chunk: int | None = None,
+                       bus=None) -> Figure7Results:
     """Run the Fig. 7 sweep: every policy at every array size, same trace.
 
     ``policy_kwargs`` maps policy name -> config overrides (used by the
@@ -163,9 +164,17 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     disk groups simulated independently (one shard sub-cell each, so the
     pool/checkpoint machinery applies per *shard*, not per cell) and
     merged in fixed reduction order.  ``shards`` must divide every entry
-    of ``disk_counts``; incompatible with ``faults``/``obs``.
-    ``stream_chunk`` bounds streamed-generation memory (requests per
-    chunk; ``None`` = the stream layer's default).
+    of ``disk_counts``; incompatible with ``faults``.  ``obs`` composes
+    with ``shards``: each shard sub-cell runs its own telemetry stack
+    (shard-tagged events under global disk ids) and the merge federates
+    the segments into the cell's named trace/metrics artifacts (see
+    :mod:`repro.obs.federate`) — kernel profiling is the one obs feature
+    sharding rejects.  ``stream_chunk`` bounds streamed-generation
+    memory (requests per chunk; ``None`` = the stream layer's default).
+
+    ``bus`` is the harness trace bus: sweep/cell span events (and, when
+    sharding, the merge spans) land on it, feeding ``repro sweep
+    --status-out``'s live status file.
     """
     cfg = config or ExperimentConfig()
     kwargs = policy_kwargs or {}
@@ -176,7 +185,7 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                                 jobs=jobs, resilience=resilience,
                                 checkpoint=checkpoint, shards=shards,
                                 assignment=shard_assignment,
-                                stream_chunk=stream_chunk)
+                                stream_chunk=stream_chunk, bus=bus)
     specs = [
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=kwargs.get(name, {}),
@@ -189,9 +198,10 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
         from repro.experiments.resilience import run_cells_resilient
 
         cells, summary = run_cells_resilient(
-            specs, jobs=jobs, config=resilience, checkpoint=checkpoint)
+            specs, jobs=jobs, config=resilience, checkpoint=checkpoint,
+            bus=bus)
     else:
-        cells = run_cells(specs, jobs=jobs)
+        cells = run_cells(specs, jobs=jobs, bus=bus)
     results: dict[str, tuple[SimulationResult, ...]] = {}
     per_policy = len(disk_counts)
     for i, name in enumerate(policies):
@@ -205,7 +215,7 @@ def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
                      policy_kwargs: dict[str, dict], faults, obs,
                      jobs: int, resilience: ResilienceConfig | None,
                      checkpoint, shards: int, assignment: str,
-                     stream_chunk: int | None) -> Figure7Results:
+                     stream_chunk: int | None, bus=None) -> Figure7Results:
     """The sharded arm of :func:`figure7_comparison`.
 
     Every (policy, disk count) cell fans out into ``shards`` streamed
@@ -214,27 +224,42 @@ def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
     file and a single harness fault ledger cover the whole sweep, and
     resume granularity is one shard.  The sub-cell results are then
     grouped back per cell and merged in fixed reduction order.
+
+    With ``obs`` set, every sub-cell runs the per-shard telemetry stack
+    of :func:`~repro.experiments.shard.run_shard_cell` against its
+    cell's ``<policy>-<disks>``-suffixed paths, and each cell's merge
+    federates the segments/registries into the single-run artifact
+    shapes.  Each merge emits a ``harness.shard.merge`` span on ``bus``.
     """
+    from time import perf_counter
+
     from repro.experiments.shard import (
         ShardCellSpec,
         ShardPlan,
         merge_shard_results,
     )
+    from repro.obs import events as obs_events
     from repro.workload.stream import DEFAULT_CHUNK_SIZE
 
     require(faults is None,
             "fault injection is not supported under sharding")
-    require(obs is None, "per-cell telemetry is not supported under sharding")
+    require(obs is None or not obs.profile,
+            "kernel profiling is not supported under sharding "
+            "(profiles are per-kernel wall timings; profile the "
+            "unsharded run instead)")
     for n in disk_counts:
         require(n % shards == 0,
                 f"shards ({shards}) must divide every disk count (got {n})")
     chunk = stream_chunk if stream_chunk is not None else DEFAULT_CHUNK_SIZE
     plans = {n: ShardPlan(n_disks=n, n_shards=shards, assignment=assignment)
              for n in disk_counts}
+    cell_obs = {(name, n): _cell_obs(obs, name, n)
+                for name in policies for n in disk_counts}
     specs = [
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=policy_kwargs.get(name, {}),
                 disk_params=cfg.disk_params, press=press,
+                obs=cell_obs[(name, n)],
                 shard=ShardCellSpec(plans[n], s, chunk))
         for name in policies for n in disk_counts for s in range(shards)
     ]
@@ -243,17 +268,25 @@ def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
         from repro.experiments.resilience import run_cells_resilient
 
         raw, summary = run_cells_resilient(
-            specs, jobs=jobs, config=resilience, checkpoint=checkpoint)
+            specs, jobs=jobs, config=resilience, checkpoint=checkpoint,
+            bus=bus)
     else:
-        raw = run_cells(specs, jobs=jobs)
+        raw = run_cells(specs, jobs=jobs, bus=bus)
     results: dict[str, tuple[SimulationResult, ...]] = {}
     per_policy = len(disk_counts) * shards
     for i, name in enumerate(policies):
         merged = []
-        for j in range(len(disk_counts)):
+        for j, n in enumerate(disk_counts):
             lo = i * per_policy + j * shards
             group = raw[lo:lo + shards]
-            merged.append(merge_shard_results(group, press=press))  # type: ignore[arg-type]
+            merge_start = perf_counter()
+            cell = merge_shard_results(group, press=press,  # type: ignore[arg-type]
+                                       obs=cell_obs[(name, n)])
+            if bus is not None:
+                bus.emit(obs_events.HARNESS_SHARD_MERGE, 0.0,
+                         policy=cell.policy_name, n_disks=n, shards=shards,
+                         wall_s=perf_counter() - merge_start)
+            merged.append(cell)
         results[name] = tuple(merged)
     return Figure7Results(disk_counts=tuple(disk_counts), results=results,
                           resilience=summary)

@@ -146,6 +146,12 @@ class SimulationResult:
     #: Excluded from equality — backends are bit-identical by contract,
     #: and the cross-backend suite compares results across it.
     kernel_backend: str = field(default="object", compare=False)
+    #: Frozen metrics-registry snapshot (``MetricsRegistry.as_dict()``
+    #: shapes); ``None`` unless sampling was enabled.  For a merged
+    #: sharded cell this is the *federated* registry, equal to the
+    #: unsharded run's for shard-decomposable policies — so it is part
+    #: of equality, like ``timeseries``.
+    metrics: dict[str, dict[str, object]] | None = None
 
     @property
     def energy_kwh(self) -> float:

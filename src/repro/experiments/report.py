@@ -93,14 +93,27 @@ def _runtime_section(fig7: Figure7Results) -> str:
     if not any(r.events_executed
                for runs in fig7.results.values() for r in runs):
         return ""
+    all_results = [r for runs in fig7.results.values() for r in runs]
+    # Telemetry columns appear only when some cell captured telemetry
+    # (sampled timeseries and/or a metrics registry snapshot).
+    telemetry = any(r.timeseries is not None or r.metrics is not None
+                    for r in all_results)
     header = ["policy", "disks", "backend", "events", "wall s", "events/s"]
+    if telemetry:
+        header += ["samples", "metrics"]
     rows = []
     for policy, runs in fig7.results.items():
         for n, result in zip(fig7.disk_counts, runs):
-            rows.append([policy, str(n), result.kernel_backend,
-                         str(result.events_executed),
-                         f"{result.wall_clock_s:.2f}",
-                         f"{result.events_per_sec:.3g}"])
+            row = [policy, str(n), result.kernel_backend,
+                   str(result.events_executed),
+                   f"{result.wall_clock_s:.2f}",
+                   f"{result.events_per_sec:.3g}"]
+            if telemetry:
+                row.append(str(len(result.timeseries.rows))
+                           if result.timeseries is not None else "-")
+                row.append(str(len(result.metrics))
+                           if result.metrics is not None else "-")
+            rows.append(row)
     return "### Simulation runtime\n\n" + _md_table(header, rows)
 
 

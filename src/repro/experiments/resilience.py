@@ -443,8 +443,13 @@ class _Sweep:
     def record_success(self, index: int, result: SimulationResult) -> None:
         self.results[index] = result
         self.cells_run += 1
+        _emit(self.bus, obs_events.HARNESS_CELL_FINISH,
+              cell=self.specs[index].label(), index=index,
+              events=result.events_executed, wall_s=result.wall_clock_s)
         if self.ckpt is not None:
             self.ckpt.record(self.keys[index], result)
+            _emit(self.bus, obs_events.HARNESS_CHECKPOINT_PUBLISH,
+                  cells=len(self.ckpt))
         _log.info("cell %d/%d finished: %s (%.2fs)", index + 1,
                   len(self.specs), self.specs[index].label(),
                   result.wall_clock_s)
@@ -498,6 +503,8 @@ class _Sweep:
             if delay > 0.0:
                 time.sleep(delay)
             spec = self.specs[index]
+            _emit(self.bus, obs_events.HARNESS_CELL_START, cell=spec.label(),
+                  index=index, total=total, attempt=attempt + 1)
             _log.info("cell %d/%d started: %s", index + 1, total, spec.label())
             try:
                 result = run_cell(spec)
@@ -596,6 +603,9 @@ class _Sweep:
                             respawn(repr(exc))
                             break
                         in_flight[future] = (index, attempt, time.monotonic())
+                        _emit(self.bus, obs_events.HARNESS_CELL_START,
+                              cell=spec.label(), index=index, total=total,
+                              attempt=attempt + 1)
                         _log.info("cell %d/%d started: %s%s", index + 1, total,
                                   spec.label(),
                                   f" (attempt {attempt + 1})" if attempt else "")
@@ -691,6 +701,8 @@ def run_cells_resilient(
         ckpt = SweepCheckpoint(checkpoint)
 
     sweep = _Sweep(spec_list, jobs=jobs, config=cfg, checkpoint=ckpt, bus=bus)
+    _emit(bus, obs_events.HARNESS_SWEEP_START,
+          cells=len(spec_list), jobs=jobs)
     sweep.restore_from_checkpoint()
     previous = _install_handlers(sweep.flag)
     try:
@@ -707,4 +719,6 @@ def run_cells_resilient(
         _restore_handlers(previous)
     results = sweep.results
     assert all(r is not None for r in results)
+    _emit(bus, obs_events.HARNESS_SWEEP_FINISH,
+          cells=len(spec_list), cells_run=sweep.cells_run)
     return list(results), sweep.summary()  # type: ignore[arg-type]

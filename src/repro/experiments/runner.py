@@ -292,12 +292,15 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     array.finalize()
 
     timeseries = None
+    metrics_snapshot: dict[str, dict[str, object]] | None = None
     if sampler is not None:
         sampler.sample_now()  # close the series with the final state
         sampler.shutdown()
         timeseries = sampler.series()
         if obs is not None and obs.metrics_path is not None:
             write_timeseries(timeseries, obs.metrics_path)
+    if registry is not None:
+        metrics_snapshot = registry.as_dict()
     if bus is not None:
         bus.emit(obs_events.ENGINE_STOP, duration,
                  events=sim.events_executed, duration_s=duration)
@@ -337,4 +340,5 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         timeseries=timeseries,
         profile=profile,
         kernel_backend=backend,
+        metrics=metrics_snapshot,
     )

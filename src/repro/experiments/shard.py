@@ -35,6 +35,26 @@ instance over its disk group — but that changes semantics (a per-shard
 cache zone is not a per-array cache zone), so sharding them is a
 modeling choice, not a transparent optimization.  Fault injection is
 not supported under sharding (the fault schedule is array-global).
+
+Telemetry under sharding (DESIGN.md Sec. 13)
+--------------------------------------------
+A sharded cell with an :class:`~repro.obs.ObsConfig` runs one full
+telemetry stack *per shard*: a :class:`~repro.obs.TraceBus` whose
+``id_maps`` remap local disk/file ids to global ones at emission (and
+whose ``tags`` stamp the shard index), streaming into an atomic
+per-shard JSONL segment (:func:`~repro.obs.shard_segment_path`); a
+:class:`~repro.obs.DiskSampler` writing rows and registry gauges under
+global disk ids.  The merge then federates: a deterministic k-way trace
+merge ordered by ``(time, shard, seq)`` with one synthesized global
+``engine.start``/``engine.stop`` pair
+(:func:`~repro.obs.merge_trace_files`), a typed registry merge
+(:func:`~repro.obs.federate_registries`), and a sampler-tick *replay* —
+each shard's open ledgers are advanced through the global tick instants
+it drained before (:meth:`~repro.disk.ledger.OpenDiskLedger.advance`)
+so the merged time-series and federated registry equal the unsharded
+*sampled* run bit-for-bit for shard-decomposable policies.  Kernel
+profiling stays per-kernel wall timing and is not supported under
+sharding.
 """
 
 from __future__ import annotations
@@ -67,6 +87,19 @@ from repro.experiments.runner import (
     make_policy,
     resolve_kernel_backend,
 )
+from repro.obs import (
+    DiskSampler,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    ObsConfig,
+    TimeSeries,
+    TraceBus,
+    federate_registries,
+    merge_trace_files,
+    shard_segment_path,
+    write_timeseries,
+)
+from repro.obs import events as obs_events
 from repro.press.model import DiskFactors, PRESSModel
 from repro.sim.engine import Simulator
 from repro.util.units import SECONDS_PER_DAY
@@ -81,7 +114,6 @@ if TYPE_CHECKING:
         ResilienceSummary,
         SweepCheckpoint,
     )
-    from repro.obs import TraceBus
 
 __all__ = [
     "ShardPlan",
@@ -250,6 +282,25 @@ class ShardCellResult:
     wall_clock_s: float = field(compare=False, default=0.0)
     kernel_backend: str = field(compare=False, default="object")
     policy_detail: dict[str, object] = field(default_factory=dict)
+    #: Per-shard JSONL trace segment (``None`` when tracing was off).
+    #: Events inside carry global disk/file ids and a ``shard`` tag.
+    trace_segment: Optional[str] = None
+    #: Data events written to the segment — the merge's expected count.
+    trace_events: int = 0
+    #: Sampler rows captured at the shard's local ticks, already under
+    #: global disk ids (``()`` when sampling was off).  The merge
+    #: synthesizes the rows for ticks past this shard's local end.
+    sample_rows: tuple[tuple, ...] = ()
+    #: The sampler cadence this shard ran with (``None`` = sampling off;
+    #: the merge requires it to agree across shards).
+    sample_interval_s: Optional[float] = None
+    #: Registry snapshot at shard end (``None`` when sampling was off).
+    metrics: Optional[dict[str, dict[str, object]]] = None
+    #: ``(speed, phase, queue_depth)`` per local disk, frozen at the
+    #: shard's end.  For shard-decomposable policies nothing moves a
+    #: disk after its shard drains, so these are the values every
+    #: synthesized post-end sample row reports.
+    final_disk_state: tuple[tuple[str, str, int], ...] = ()
 
 
 class _ShardMetrics:
@@ -316,8 +367,11 @@ def run_shard_cell(spec: RunSpec) -> ShardCellResult:
     require(spec.faults is None,
             "fault injection is not supported under sharding "
             "(the fault schedule is array-global)")
-    require(spec.obs is None,
-            "per-cell telemetry is not supported under sharding")
+    obs = spec.obs
+    require(obs is None or not obs.profile,
+            "kernel profiling is not supported under sharding "
+            "(profiles are per-kernel wall timings; profile the "
+            "unsharded run instead)")
     plan = shard.plan
     require(spec.n_disks == plan.n_disks,
             f"spec.n_disks ({spec.n_disks}) != plan.n_disks ({plan.n_disks})")
@@ -344,12 +398,44 @@ def run_shard_cell(spec: RunSpec) -> ShardCellResult:
     local_fileset = FileSet(fileset.sizes_mb[my_files])
 
     params = spec.disk_params if spec.disk_params is not None else _default_disk_params()
-    backend = resolve_kernel_backend("auto", faults_on=False, tracing_on=False)
+    tracing_on = obs is not None and obs.trace_path is not None
+    backend = resolve_kernel_backend("auto", faults_on=False,
+                                     tracing_on=tracing_on)
+    offset = plan.disk_offset(shard.index)
     sim = Simulator()
+    # Telemetry attaches before the array is built (drives cache the bus
+    # at construction).  The bus remaps local ids to global at emission
+    # — disk-carrying fields shift by the shard's disk offset, file ids
+    # go through the shard's local->global file table — and tags every
+    # event with the shard index, so the segment needs no rewrite pass.
+    bus: Optional[TraceBus] = None
+    writer: Optional[JsonlTraceWriter] = None
+    segment: Optional[str] = None
+    if tracing_on:
+        assert obs is not None and obs.trace_path is not None
+        my_files_py = my_files.tolist()
+        shift: Callable[[int], int] = lambda v, _o=offset: v + _o  # noqa: E731
+        bus = TraceBus(
+            tags={"shard": shard.index},
+            id_maps={"disk": shift, "src": shift, "dst": shift,
+                     "file": lambda v, _f=my_files_py: _f[v]})
+        segment = str(shard_segment_path(obs.trace_path, shard.index))
+        writer = JsonlTraceWriter(segment)
+        bus.subscribe(writer)
+        sim.trace = bus
     array = DiskArray(sim, params, plan.disks_per_shard, local_fileset,
                       initial_speed=spec.initial_speed,
                       queue_discipline=spec.queue_discipline,
                       kernel_backend=backend)
+    registry: Optional[MetricsRegistry] = None
+    sampler: Optional[DiskSampler] = None
+    sample_interval: Optional[float] = None
+    if obs is not None and obs.wants_sampler:
+        sample_interval = obs.effective_sample_interval_s
+        registry = MetricsRegistry()
+        sampler = DiskSampler(sim, array, sample_interval,
+                              registry=registry, disk_offset=offset)
+        sampler.install()
     policy = make_policy(spec.policy, **dict(spec.policy_kwargs))
     metrics = _ShardMetrics(plan.disks_per_shard, on_all_done=sim.request_stop)
     policy.bind(sim, array, local_fileset)
@@ -394,23 +480,41 @@ def run_shard_cell(spec: RunSpec) -> ShardCellResult:
             return
         schedule_at(times[i], dispatch_next, priority=-1)
 
-    if load_next():
-        schedule_at(times[0], dispatch_next, priority=-1)
-        sim.run_until_drained()
-        if not metrics.all_done:
-            raise RuntimeError(
-                f"shard {shard.index}: event queue drained with "
-                f"{metrics.completed}/{metrics.dispatched} requests done")
-    else:
-        # a shard no request ever targets: its disks idle from t=0 to
-        # the global end; the merge's ledger close accounts all of it
-        metrics.dispatch_done = True
+    try:
+        if load_next():
+            schedule_at(times[0], dispatch_next, priority=-1)
+            sim.run_until_drained()
+            if not metrics.all_done:
+                raise RuntimeError(
+                    f"shard {shard.index}: event queue drained with "
+                    f"{metrics.completed}/{metrics.dispatched} requests done")
+        else:
+            # a shard no request ever targets: its disks idle from t=0 to
+            # the global end; the merge's ledger close accounts all of it
+            metrics.dispatch_done = True
+    except BaseException:
+        # never leave a torn segment where the merge expects a whole one
+        if writer is not None:
+            writer.abort()
+        raise
 
     duration = sim.now
     policy.shutdown()
+    if sampler is not None:
+        # stop the periodic tick; deliberately NO final sample_now():
+        # the merge replays the global ticks this shard drained before
+        # and closes the series at the *global* end time
+        sampler.shutdown()
+    if writer is not None:
+        writer.close()
     # capture the ledgers OPEN (no array.finalize()): the final
     # accounting step belongs to the merge, at the global end time
     ledgers = tuple(drive.open_ledger() for drive in array.drives)
+    final_state: tuple[tuple[str, str, int], ...] = ()
+    if sampler is not None:
+        final_state = tuple(
+            (drive.speed.name.lower(), drive.phase.value, drive.queue_length)
+            for drive in array.drives)
     resp_sum, wait_sum, counts, hist = metrics.snapshot()
     return ShardCellResult(
         shard_index=shard.index,
@@ -427,14 +531,41 @@ def run_shard_cell(spec: RunSpec) -> ShardCellResult:
         wall_clock_s=perf_counter() - wall_start,
         kernel_backend=backend,
         policy_detail=policy.describe(),
+        trace_segment=segment,
+        trace_events=writer.events_written if writer is not None else 0,
+        sample_rows=sampler.series().rows if sampler is not None else (),
+        sample_interval_s=sample_interval,
+        metrics=registry.as_dict() if registry is not None else None,
+        final_disk_state=final_state,
     )
 
 
 # ----------------------------------------------------------------------
 # the merge: fixed reduction order => bit-identical across --jobs
 # ----------------------------------------------------------------------
+def _sampler_ticks(interval_s: float, end_s: float) -> list[float]:
+    """Global sampler tick instants strictly before ``end_s``.
+
+    Reproduces :class:`~repro.sim.timers.PeriodicTask`'s cumulative
+    schedule arithmetic (each tick schedules the next at ``now +
+    period``) rather than ``k * period`` — the two differ in float
+    round-off, and the replayed accounting edges must land on exactly
+    the instants the unsharded sampler fired at.  A tick at exactly
+    ``end_s`` never fires: the final completion (priority 0) stops the
+    kernel before that instant's priority-90 sample dispatches.
+    """
+    ticks: list[float] = []
+    t = 0.0
+    while True:
+        t = t + interval_s
+        if t >= end_s:
+            return ticks
+        ticks.append(t)
+
+
 def merge_shard_results(results: Sequence[ShardCellResult],
-                        *, press: PRESSModel | None = None) -> SimulationResult:
+                        *, press: PRESSModel | None = None,
+                        obs: Optional[ObsConfig] = None) -> SimulationResult:
     """Reduce per-shard partial results into one :class:`SimulationResult`.
 
     Reduction order is fixed — shards by index, disks by global id,
@@ -443,6 +574,19 @@ def merge_shard_results(results: Sequence[ShardCellResult],
     merged result is independent of how (and how parallel) the shards
     were executed, and equals the ``n_shards=1`` reduction of the same
     stream exactly.
+
+    Telemetry federates here too (``obs`` names the merged artifact
+    paths): per-shard trace segments k-way merge into ``obs.trace_path``
+    with one synthesized global ``engine.start``/``engine.stop`` pair;
+    when sampling was on, the shards' open ledgers are *replayed*
+    through the global tick instants each shard drained before
+    (:meth:`~repro.disk.ledger.OpenDiskLedger.advance`), synthesizing
+    the sample rows the unsharded sampler would have written, and the
+    registry snapshots federate typed (counters sum, gauges
+    last-at-max-time, histograms bin-exact) with the sampler-owned
+    entries rebuilt from the global final sample.  For
+    shard-decomposable policies the merged time-series and registry
+    equal the unsharded *sampled* run bit-for-bit.
     """
     require(len(results) >= 1, "need at least one shard result")
     plan = results[0].plan
@@ -462,11 +606,105 @@ def merge_shard_results(results: Sequence[ShardCellResult],
     duration = max(r.duration_s for r in ordered)
     require(duration > 0.0, "merged duration must be positive")
 
+    interval = ordered[0].sample_interval_s
+    for r in ordered:
+        require(r.sample_interval_s == interval,
+                "shard results carry mixed sampler cadences")
+
     # close every disk's open ledgers at the global end, global disk order
     closed: list[ClosedDiskLedger] = []
-    for r in ordered:
-        for ledger in r.ledgers:
-            closed.append(ledger.close(duration))
+    merged_series: Optional[TimeSeries] = None
+    federated: Optional[dict[str, dict[str, object]]] = None
+    if interval is None:
+        for r in ordered:
+            for ledger in r.ledgers:
+                closed.append(ledger.close(duration))
+    else:
+        # Sampling splits the ledger accounting at every tick (the
+        # sampler's documented last-ulp semantics), so to equal the
+        # unsharded *sampled* run the merge replays the global ticks
+        # each shard drained before: advance the open ledgers edge by
+        # edge through the missed instants — synthesizing the rows the
+        # unsharded sampler would have written, with speed/phase/queue
+        # frozen at the shard's end (nothing moves a disk after its
+        # shard drains under a shard-decomposable policy) — then close
+        # at the global end for the final end-of-run sample row.
+        ticks = _sampler_ticks(interval, duration)
+        rows: list[tuple] = []
+        final_gauges: list[tuple[int, float, float, int, float]] = []
+        for r in ordered:
+            rows.extend(r.sample_rows)
+            base = plan.disk_offset(r.shard_index)
+            require(len(r.final_disk_state) == len(r.ledgers),
+                    f"shard {r.shard_index} result lacks its final disk state")
+            for local, ledger in enumerate(r.ledgers):
+                g = base + local
+                speed, phase, queue = r.final_disk_state[local]
+                for t in ticks:
+                    if t < r.duration_s:
+                        continue  # the shard itself sampled this tick
+                    ledger = ledger.advance(t)
+                    rows.append((t, g,
+                                 min(ledger.active_time_s / t, 1.0) * 100.0,
+                                 ledger.temp_c, speed, phase, queue,
+                                 ledger.total_energy_j))
+                c = ledger.close(duration)
+                util = min(c.active_time_s / duration, 1.0) * 100.0
+                # the unsharded runner's end-of-run sample_now() row
+                rows.append((duration, g, util, c.temperature_c, speed,
+                             phase, queue, c.total_energy_j))
+                final_gauges.append((g, util, c.temperature_c, queue,
+                                     c.total_energy_j))
+                closed.append(c)
+        rows.sort(key=lambda row: (row[0], row[1]))
+        merged_series = TimeSeries(interval_s=interval, rows=tuple(rows))
+
+        snapshots = [r.metrics if r.metrics is not None else {}
+                     for r in ordered]
+        federated = federate_registries(
+            snapshots, at=[r.duration_s for r in ordered])
+        # Sampler-owned entries must reflect the *global* final sample,
+        # not any shard's local last tick: rebuild them exactly as the
+        # unsharded sample_now() would have written them.
+        for g, util, temp, queue, energy in sorted(final_gauges):
+            federated[f"disk{g}.utilization_pct"] = {"type": "gauge",
+                                                     "value": util}
+            federated[f"disk{g}.temperature_c"] = {"type": "gauge",
+                                                   "value": temp}
+            federated[f"disk{g}.queue_depth"] = {"type": "gauge",
+                                                 "value": float(queue)}
+            federated[f"disk{g}.energy_j"] = {"type": "gauge",
+                                              "value": energy}
+        federated["array.energy_j"] = {
+            "type": "gauge",
+            "value": float(sum(c.total_energy_j for c in closed))}
+        federated["sampler.ticks"] = {"type": "counter",
+                                      "value": float(len(ticks) + 1)}
+        federated = {name: federated[name] for name in sorted(federated)}
+
+    if obs is not None and obs.metrics_path is not None:
+        require(merged_series is not None,
+                "obs.metrics_path set but shard results carry no samples")
+        assert merged_series is not None
+        write_timeseries(merged_series, obs.metrics_path)
+    if obs is not None and obs.trace_path is not None:
+        segments: list[str] = []
+        for r in ordered:
+            require(r.trace_segment is not None,
+                    f"obs.trace_path set but shard {r.shard_index} "
+                    f"carries no trace segment")
+            segments.append(cast(str, r.trace_segment))
+        data_events = sum(r.trace_events for r in ordered)
+        lead = [(obs_events.ENGINE_START, 0.0,
+                 {"policy": ordered[0].policy_name, "n_disks": plan.n_disks,
+                  "n_requests": completed})]
+        tail = [(obs_events.ENGINE_STOP, duration,
+                 {"duration_s": duration, "events": data_events})]
+        merged_count = merge_trace_files(segments, obs.trace_path,
+                                         lead=lead, tail=tail)
+        require(merged_count == data_events,
+                f"trace merge saw {merged_count} data events but the "
+                f"shards reported writing {data_events}")
 
     # ---- PRESS: same factor arithmetic as factors_of/factors_of_state
     temps = [c.mean_temperature_c() for c in closed]
@@ -530,6 +768,8 @@ def merge_shard_results(results: Sequence[ShardCellResult],
         events_executed=sum(r.events_executed for r in ordered),
         wall_clock_s=sum(r.wall_clock_s for r in ordered),
         kernel_backend=ordered[0].kernel_backend,
+        timeseries=merged_series,
+        metrics=federated,
     )
 
 
@@ -549,6 +789,7 @@ def run_sharded(policy: str, workload: WorkloadLike, *,
                 resilience: "Optional[ResilienceConfig]" = None,
                 checkpoint: "Union[SweepCheckpoint, str, None]" = None,
                 bus: "Optional[TraceBus]" = None,
+                obs: Optional[ObsConfig] = None,
                 ) -> tuple[SimulationResult, "Optional[ResilienceSummary]"]:
     """Run one (policy, workload) cell sharded, returning the merged result.
 
@@ -558,8 +799,17 @@ def run_sharded(policy: str, workload: WorkloadLike, *,
     per-shard) — and merges.  Returns ``(SimulationResult,
     ResilienceSummary | None)``; the summary is ``None`` when neither
     ``resilience`` nor ``checkpoint`` was given.
+
+    ``obs`` rides into every shard sub-cell (per-shard trace segments,
+    samplers, registries — see the module docstring) and names the
+    merged artifact paths; ``bus`` is the *harness* bus, which receives
+    a ``harness.shard.merge`` span when the partials are reduced.
     """
     plan = ShardPlan(n_disks=n_disks, n_shards=n_shards, assignment=assignment)
+    require(obs is None or not obs.profile,
+            "kernel profiling is not supported under sharding "
+            "(profiles are per-kernel wall timings; profile the "
+            "unsharded run instead)")
     base_kwargs: dict[str, object] = dict(policy_kwargs) if policy_kwargs else {}
     speed = initial_speed if initial_speed is not None else DiskSpeed.HIGH
     discipline = (queue_discipline if queue_discipline is not None
@@ -568,7 +818,7 @@ def run_sharded(policy: str, workload: WorkloadLike, *,
         RunSpec(policy=policy, n_disks=n_disks, workload=workload,
                 policy_kwargs=base_kwargs, disk_params=disk_params,
                 press=press, initial_speed=speed, queue_discipline=discipline,
-                shard=ShardCellSpec(plan, s, chunk_size))
+                obs=obs, shard=ShardCellSpec(plan, s, chunk_size))
         for s in range(plan.n_shards)
     ]
     summary: "Optional[ResilienceSummary]" = None
@@ -580,4 +830,11 @@ def run_sharded(policy: str, workload: WorkloadLike, *,
     else:
         raw = run_cells(specs, jobs=jobs)
     shard_results = cast("list[ShardCellResult]", raw)
-    return merge_shard_results(shard_results, press=press), summary
+    merge_start = perf_counter()
+    merged = merge_shard_results(shard_results, press=press, obs=obs)
+    if bus is not None:
+        # outside simulated time, like every harness event: t=0.0
+        bus.emit(obs_events.HARNESS_SHARD_MERGE, 0.0,
+                 policy=merged.policy_name, n_disks=n_disks, shards=n_shards,
+                 wall_s=perf_counter() - merge_start)
+    return merged, summary

@@ -33,13 +33,24 @@ from repro.obs.export import (
 from repro.obs.log import get_logger, setup_logging
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import HandlerProfile, KernelProfiler, ProfileSummary
+from repro.obs.federate import (
+    federate_registries,
+    merge_trace_files,
+    shard_segment_path,
+)
 from repro.obs.sampler import SAMPLE_COLUMNS, DiskSampler, TimeSeries
+from repro.obs.status import (
+    SweepStatusWriter,
+    format_status,
+    read_status,
+)
 from repro.obs.summarize import (
     DiskRollup,
     TraceSummary,
     format_summary,
     summarize_records,
     summarize_trace,
+    summarize_traces,
 )
 
 __all__ = [
@@ -56,17 +67,24 @@ __all__ = [
     "ObsConfig",
     "ProfileSummary",
     "SAMPLE_COLUMNS",
+    "SweepStatusWriter",
     "TimeSeries",
     "TraceBus",
     "TraceEvent",
     "TraceSummary",
     "event_to_json",
+    "federate_registries",
+    "format_status",
     "format_summary",
     "get_logger",
+    "merge_trace_files",
+    "read_status",
     "read_trace",
     "setup_logging",
+    "shard_segment_path",
     "summarize_records",
     "summarize_trace",
+    "summarize_traces",
     "timeseries_to_csv_text",
     "write_metrics_json",
     "write_timeseries",

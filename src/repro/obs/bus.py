@@ -19,7 +19,7 @@ emit byte-identical streams.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.obs.events import TraceEvent
 from repro.util.validation import require
@@ -28,9 +28,18 @@ __all__ = ["TraceBus"]
 
 Subscriber = Callable[[TraceEvent], None]
 
+IdMap = Callable[[int], int]
+
 
 class TraceBus:
     """Fan-out of :class:`TraceEvent` records to subscribers.
+
+    ``tags`` stamps constant fields into every payload (a shard worker
+    tags each event with its shard index); ``id_maps`` rewrites integer
+    id fields at emission time (the shard worker remaps local disk/file
+    ids to global ones), keyed by payload field name.  Both default to
+    off and cost nothing when unset; field order in the payload never
+    affects the exported bytes (the exporter sorts keys).
 
     Examples
     --------
@@ -42,13 +51,19 @@ class TraceBus:
     ('engine.start', 'read')
     """
 
-    __slots__ = ("_subscribers", "_seq", "counts")
+    __slots__ = ("_subscribers", "_seq", "counts", "_tags", "_id_maps")
 
-    def __init__(self) -> None:
+    def __init__(self, *, tags: Optional[Mapping[str, object]] = None,
+                 id_maps: Optional[Mapping[str, IdMap]] = None) -> None:
         self._subscribers: list[Subscriber] = []
         self._seq = 0
         #: Events emitted so far, by type (cheap always-on rollup).
         self.counts: Counter[str] = Counter()
+        self._tags: Optional[dict[str, object]] = dict(tags) if tags else None
+        # a sorted tuple of (field, map) pairs: deterministic application
+        # order regardless of the mapping the caller handed in
+        self._id_maps: Optional[tuple[tuple[str, IdMap], ...]] = (
+            tuple(sorted(id_maps.items())) if id_maps else None)
 
     # ------------------------------------------------------------------
     # subscription management
@@ -82,6 +97,14 @@ class TraceBus:
         seq = self._seq
         self._seq = seq + 1
         self.counts[type_] += 1
+        if self._id_maps is not None:
+            for field, id_map in self._id_maps:
+                value = data.get(field)
+                if value is not None:
+                    data[field] = id_map(value)  # type: ignore[arg-type]
+        if self._tags is not None:
+            for key, value in self._tags.items():
+                data.setdefault(key, value)
         event = TraceEvent(seq, time_, type_, data)
         for subscriber in self._subscribers:
             subscriber(event)

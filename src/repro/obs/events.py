@@ -67,6 +67,22 @@ they happen outside simulated time, ordered by ``seq``)
     * ``harness.pool.respawn``   — the worker pool broke (or was killed
       on a timeout) and was recreated (``respawn``, ``requeued``)
 
+Harness spans (sweep progress; also ``t=0.0``, ordered by ``seq`` —
+the live status feed of ``repro sweep --status-out`` folds these)
+    * ``harness.sweep.start``        — a sweep batch began
+      (``cells``, ``jobs``)
+    * ``harness.sweep.finish``       — the batch completed
+      (``cells``, ``cells_run``)
+    * ``harness.cell.start``         — one cell (or shard sub-cell) was
+      dispatched to a worker (``cell``, ``index``, ``total``,
+      ``attempt``)
+    * ``harness.cell.finish``        — the cell's result landed
+      (``cell``, ``index``, ``events``, ``wall_s``)
+    * ``harness.checkpoint.publish`` — the checkpoint journal was
+      atomically republished (``cells``)
+    * ``harness.shard.merge``        — shard partials were merged into
+      one result (``policy``, ``n_disks``, ``shards``, ``wall_s``)
+
 The constants exist so consumers and tests never hard-code strings;
 producers import them too, keeping the taxonomy single-sourced.
 """
@@ -89,6 +105,9 @@ __all__ = [
     "ENGINE_START", "ENGINE_STOP",
     "HARNESS_CHECKPOINT_HIT", "HARNESS_CELL_RETRY", "HARNESS_CELL_TIMEOUT",
     "HARNESS_CELL_SALVAGE", "HARNESS_POOL_RESPAWN",
+    "HARNESS_SWEEP_START", "HARNESS_SWEEP_FINISH",
+    "HARNESS_CELL_START", "HARNESS_CELL_FINISH",
+    "HARNESS_CHECKPOINT_PUBLISH", "HARNESS_SHARD_MERGE",
 ]
 
 REQUEST_SUBMIT = "request.submit"
@@ -125,6 +144,13 @@ HARNESS_CELL_TIMEOUT = "harness.cell.timeout"
 HARNESS_CELL_SALVAGE = "harness.cell.salvage"
 HARNESS_POOL_RESPAWN = "harness.pool.respawn"
 
+HARNESS_SWEEP_START = "harness.sweep.start"
+HARNESS_SWEEP_FINISH = "harness.sweep.finish"
+HARNESS_CELL_START = "harness.cell.start"
+HARNESS_CELL_FINISH = "harness.cell.finish"
+HARNESS_CHECKPOINT_PUBLISH = "harness.checkpoint.publish"
+HARNESS_SHARD_MERGE = "harness.shard.merge"
+
 #: Every event type the instrumented layers can emit.
 ALL_EVENT_TYPES: frozenset[str] = frozenset({
     REQUEST_SUBMIT, REQUEST_DISPATCH, REQUEST_COMPLETE,
@@ -138,6 +164,9 @@ ALL_EVENT_TYPES: frozenset[str] = frozenset({
     ENGINE_START, ENGINE_STOP,
     HARNESS_CHECKPOINT_HIT, HARNESS_CELL_RETRY, HARNESS_CELL_TIMEOUT,
     HARNESS_CELL_SALVAGE, HARNESS_POOL_RESPAWN,
+    HARNESS_SWEEP_START, HARNESS_SWEEP_FINISH,
+    HARNESS_CELL_START, HARNESS_CELL_FINISH,
+    HARNESS_CHECKPOINT_PUBLISH, HARNESS_SHARD_MERGE,
 })
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.timers import PeriodicTask
-from repro.util.validation import require_positive
+from repro.util.validation import require, require_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.disk.array import DiskArray
@@ -104,15 +104,24 @@ class DiskSampler:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
         per-disk gauges (``disk{d}.utilization_pct`` etc.) and the
         array-level ``array.energy_j`` counter track the latest sample.
+    disk_offset:
+        Added to every local disk id in rows and gauge names.  A shard
+        worker passes its plan's offset so the sampled series and the
+        registry speak *global* disk ids, making per-shard telemetry
+        federate without a rename pass (0 for unsharded runs).
     """
 
     def __init__(self, sim: "Simulator", array: "DiskArray", interval_s: float, *,
-                 registry: Optional["MetricsRegistry"] = None) -> None:
+                 registry: Optional["MetricsRegistry"] = None,
+                 disk_offset: int = 0) -> None:
         require_positive(interval_s, "interval_s")
+        require(disk_offset >= 0,
+                f"disk_offset must be >= 0, got {disk_offset}")
         self._sim = sim
         self._array = array
         self.interval_s = float(interval_s)
         self._registry = registry
+        self._offset = int(disk_offset)
         self._rows: list[tuple] = []
         self._task: Optional[PeriodicTask] = None
 
@@ -159,16 +168,18 @@ class DiskSampler:
             phases = snap.phase_code.tolist()
             queues = snap.queue_depth.tolist()
             energies = snap.energy_j.tolist()
+            offset = self._offset
             for d in range(state.n_disks):
                 util, temp = utils[d], temps[d]
                 queue, energy = queues[d], energies[d]
-                rows.append((now, d, util, temp, _SPEED_NAMES[speeds[d]],
+                g = offset + d
+                rows.append((now, g, util, temp, _SPEED_NAMES[speeds[d]],
                              _PHASE_NAMES[phases[d]], queue, energy))
                 if registry is not None:
-                    registry.gauge(f"disk{d}.utilization_pct").set(util)
-                    registry.gauge(f"disk{d}.temperature_c").set(temp)
-                    registry.gauge(f"disk{d}.queue_depth").set(queue)
-                    registry.gauge(f"disk{d}.energy_j").set(energy)
+                    registry.gauge(f"disk{g}.utilization_pct").set(util)
+                    registry.gauge(f"disk{g}.temperature_c").set(temp)
+                    registry.gauge(f"disk{g}.queue_depth").set(queue)
+                    registry.gauge(f"disk{g}.energy_j").set(energy)
             if registry is not None:
                 registry.gauge("array.energy_j").set(self._array.total_energy_j())
                 registry.counter("sampler.ticks").inc()
@@ -181,14 +192,14 @@ class DiskSampler:
             phase = drive.phase.value
             queue = drive.queue_length
             energy = drive.energy.total_energy_j
-            rows.append((now, drive.disk_id, util, temp, speed, phase,
+            g = self._offset + drive.disk_id
+            rows.append((now, g, util, temp, speed, phase,
                          queue, energy))
             if registry is not None:
-                d = drive.disk_id
-                registry.gauge(f"disk{d}.utilization_pct").set(util)
-                registry.gauge(f"disk{d}.temperature_c").set(temp)
-                registry.gauge(f"disk{d}.queue_depth").set(queue)
-                registry.gauge(f"disk{d}.energy_j").set(energy)
+                registry.gauge(f"disk{g}.utilization_pct").set(util)
+                registry.gauge(f"disk{g}.temperature_c").set(temp)
+                registry.gauge(f"disk{g}.queue_depth").set(queue)
+                registry.gauge(f"disk{g}.energy_j").set(energy)
         if registry is not None:
             registry.gauge("array.energy_j").set(self._array.total_energy_j())
             registry.counter("sampler.ticks").inc()

@@ -24,7 +24,7 @@ from repro.obs.export import read_trace
 from repro.util.tables import format_table
 
 __all__ = ["DiskRollup", "TraceSummary", "summarize_records",
-           "summarize_trace", "format_summary"]
+           "summarize_trace", "summarize_traces", "format_summary"]
 
 PathLike = Union[str, Path]
 
@@ -132,6 +132,21 @@ def summarize_records(records: Iterable[dict]) -> TraceSummary:
 def summarize_trace(path: PathLike) -> TraceSummary:
     """Read a JSONL trace file and aggregate it."""
     return summarize_records(read_trace(path))
+
+
+def summarize_traces(paths: Iterable[PathLike]) -> TraceSummary:
+    """Aggregate several traces — e.g. per-shard segments — as one.
+
+    The rollup is a pure reduction over records, so chaining files is
+    exactly equivalent to summarizing their concatenation (per-shard
+    segments already carry global disk ids, so the per-disk table is
+    the array-wide view).
+    """
+    def _chained() -> Iterable[dict]:
+        for path in paths:
+            yield from read_trace(path)
+
+    return summarize_records(_chained())
 
 
 def format_summary(summary: TraceSummary, *, source: str = "trace") -> str:

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.figures import figure7_comparison
 from repro.experiments.report import render_markdown_report, write_markdown_report
 from repro.experiments.runner import ExperimentConfig
+from repro.obs import ObsConfig
 from repro.workload.synthetic import SyntheticWorkloadConfig
 
 
@@ -48,6 +49,27 @@ class TestRender:
         md = render_markdown_report(small_fig7)
         assert "### Simulation runtime" in md
         assert "events/s" in md
+
+    def test_runtime_telemetry_columns_only_when_captured(self, small_fig7,
+                                                          tmp_path):
+        # obs-off sweeps must not grow empty columns
+        md = render_markdown_report(small_fig7)
+        assert "samples" not in md
+        assert "| metrics |" not in md
+
+        cfg = ExperimentConfig(workload=SyntheticWorkloadConfig(
+            n_files=80, n_requests=1_000, seed=5, mean_interarrival_s=0.01))
+        obs = ObsConfig(metrics_path=str(tmp_path / "m.csv"),
+                        sample_interval_s=5.0)
+        fig7 = figure7_comparison(cfg, disk_counts=(3,), policies=("read",),
+                                  obs=obs)
+        md = render_markdown_report(fig7)
+        runtime = md.split("### Simulation runtime")[1]
+        header = next(l for l in runtime.splitlines() if l.startswith("|"))
+        assert "samples" in header and "metrics" in header
+        row = next(l for l in runtime.splitlines() if l.startswith("| read |"))
+        counts = [c.strip() for c in row.strip("|").split("|")[-2:]]
+        assert all(c != "-" and int(c) > 0 for c in counts)
 
     def test_markdown_tables_well_formed(self, small_fig7):
         md = render_markdown_report(small_fig7)

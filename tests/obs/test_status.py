@@ -1,0 +1,142 @@
+"""Live sweep status feed: event folding, schema, atomic publish, reader.
+
+:class:`~repro.obs.status.SweepStatusWriter` subscribes to the harness
+bus and folds ``harness.*`` spans into a crash-safe JSON document; the
+reader side (:func:`read_status` / :func:`format_status`) backs
+``repro obs status``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.bus import TraceBus
+from repro.obs.status import (
+    STATUS_VERSION,
+    SweepStatusWriter,
+    format_status,
+    read_status,
+)
+
+
+def _wired(tmp_path, **kwargs):
+    kwargs.setdefault("min_interval_s", 0.0)
+    bus = TraceBus()
+    writer = SweepStatusWriter(tmp_path / "status.json", **kwargs)
+    bus.subscribe(writer)
+    return bus, writer
+
+
+class TestEventFolding:
+    def test_full_sweep_lifecycle(self, tmp_path):
+        bus, writer = _wired(tmp_path)
+        bus.emit(ev.HARNESS_SWEEP_START, 0.0, cells=3, jobs=2)
+        bus.emit(ev.HARNESS_CHECKPOINT_HIT, 0.0, cell="read-6")
+        bus.emit(ev.HARNESS_CELL_START, 0.0, cell="read-10", index=1,
+                 total=3, attempt=1)
+        bus.emit(ev.HARNESS_CELL_START, 0.0, cell="read-16", index=2,
+                 total=3, attempt=1)
+        bus.emit(ev.HARNESS_CELL_FINISH, 0.0, cell="read-10", index=1,
+                 events=5000, wall_s=2.0)
+        doc = writer.snapshot()
+        assert doc["version"] == STATUS_VERSION
+        assert doc["state"] == "running"
+        assert doc["jobs"] == 2
+        assert doc["cells_total"] == 3
+        assert doc["cells_done"] == 2  # one finished + one restored
+        assert doc["cells_running"] == ["read-16"]
+        assert doc["events_executed"] == 5000
+        assert doc["events_per_sec"] == pytest.approx(2500.0)
+        assert doc["checkpoint_hits"] == 1
+        assert doc["cells"]["read-10"]["state"] == "done"
+        assert doc["cells"]["read-6"]["state"] == "restored"
+
+    def test_sweep_finish_flips_state_and_publishes(self, tmp_path):
+        bus, writer = _wired(tmp_path, min_interval_s=3600.0)
+        bus.emit(ev.HARNESS_SWEEP_START, 0.0, cells=1, jobs=1)
+        bus.emit(ev.HARNESS_SWEEP_FINISH, 0.0, cells=1, cells_run=1)
+        doc = read_status(writer.path)  # forced publish despite throttle
+        assert doc["state"] == "done"
+
+    def test_retry_and_fault_counters(self, tmp_path):
+        bus, writer = _wired(tmp_path)
+        bus.emit(ev.HARNESS_CELL_RETRY, 0.0, cell="maid-8", attempt=2,
+                 reason="ValueError")
+        bus.emit(ev.HARNESS_CELL_TIMEOUT, 0.0, cell="maid-8", timeout_s=1.0)
+        bus.emit(ev.HARNESS_CELL_SALVAGE, 0.0, cell="pdc-8")
+        bus.emit(ev.HARNESS_POOL_RESPAWN, 0.0, respawn=1, requeued=1)
+        bus.emit(ev.HARNESS_CHECKPOINT_PUBLISH, 0.0, cells=2)
+        bus.emit(ev.HARNESS_SHARD_MERGE, 0.0, policy="read", n_disks=8,
+                 shards=2, wall_s=0.01)
+        doc = writer.snapshot()
+        assert doc["retries"] == 1
+        assert doc["timeouts"] == 1
+        assert doc["salvaged"] == 1
+        assert doc["pool_respawns"] == 1
+        assert doc["checkpoint_publishes"] == 1
+        assert doc["merges"] == 1
+        assert doc["cells"]["maid-8"]["state"] == "retrying"
+        assert doc["cells"]["maid-8"]["attempt"] == 2
+
+    def test_non_harness_events_ignored(self, tmp_path):
+        bus, writer = _wired(tmp_path)
+        bus.emit(ev.REQUEST_SUBMIT, 1.0, disk=0)
+        assert writer.publishes == 0
+        assert writer.snapshot()["cells"] == {}
+
+    def test_throttle_bounds_write_amplification(self, tmp_path):
+        bus, writer = _wired(tmp_path, min_interval_s=3600.0)
+        for i in range(50):
+            bus.emit(ev.HARNESS_CELL_START, 0.0, cell=f"c{i}", index=i,
+                     total=50, attempt=1)
+        assert writer.publishes == 1  # first write, then throttled
+        writer.finish()
+        assert writer.publishes == 2
+
+    def test_finish_supports_failure_state(self, tmp_path):
+        _bus, writer = _wired(tmp_path)
+        writer.finish(state="failed")
+        assert read_status(writer.path)["state"] == "failed"
+
+    def test_published_file_is_valid_json_with_newline(self, tmp_path):
+        _bus, writer = _wired(tmp_path)
+        writer.publish(force=True)
+        text = writer.path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == STATUS_VERSION
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepStatusWriter(tmp_path / "s.json", min_interval_s=-1.0)
+
+
+class TestReader:
+    def test_read_rejects_non_json(self, tmp_path):
+        p = tmp_path / "s.json"
+        p.write_text("{torn", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a JSON status document"):
+            read_status(p)
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "s.json"
+        p.write_text('{"other": 1}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a sweep status document"):
+            read_status(p)
+
+    def test_format_renders_progress_and_ledger(self, tmp_path):
+        bus, writer = _wired(tmp_path)
+        bus.emit(ev.HARNESS_SWEEP_START, 0.0, cells=2, jobs=4)
+        bus.emit(ev.HARNESS_CELL_START, 0.0, cell="read-6", index=0,
+                 total=2, attempt=1)
+        bus.emit(ev.HARNESS_CELL_RETRY, 0.0, cell="read-16", attempt=2,
+                 reason="ValueError")
+        text = format_status(writer.snapshot())
+        assert "sweep running: 0/2 cells, jobs=4" in text
+        assert "retries=1" in text
+        assert "read-6" in text
+        assert "read-16 (attempt 2)" in text
+
+    def test_format_handles_minimal_document(self):
+        text = format_status({"state": "done", "cells": {}})
+        assert "sweep done" in text

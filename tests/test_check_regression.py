@@ -99,6 +99,24 @@ class TestTracingOverhead:
     def test_rejects_nonsense_ratio(self):
         with pytest.raises(ValueError, match="max_ratio"):
             check_regression.tracing_overhead({}, max_ratio=1.0)
+        with pytest.raises(ValueError, match="max_shard_ratio"):
+            check_regression.tracing_overhead({}, max_shard_ratio=1.0)
+
+    def test_shard_ratio_within_limit_passes(self):
+        current = {"shard_obs_off_s": 1.5, "shard_traced_s": 15.0}  # 10x < 14x
+        assert check_regression.tracing_overhead(current) == []
+
+    def test_shard_ratio_beyond_limit_fails(self):
+        current = {"shard_obs_off_s": 1.0, "shard_traced_s": 20.0}  # 20x
+        problems = check_regression.tracing_overhead(current)
+        assert len(problems) == 1
+        assert "shard tracing overhead" in problems[0]
+
+    def test_both_pairs_checked_independently(self):
+        current = {"cell_obs_off_s": 0.4, "cell_traced_s": 2.4,      # 6x > 5x
+                   "shard_obs_off_s": 1.0, "shard_traced_s": 20.0}   # 20x > 14x
+        problems = check_regression.tracing_overhead(current)
+        assert len(problems) == 2
 
 
 class TestKernelFloor:
@@ -139,9 +157,12 @@ class TestCommittedBaseline:
         assert data["kernel_events_per_sec"] >= (
             check_regression.FLOOR_KERNEL_EVENTS_PER_SEC)
         assert check_regression.kernel_floor(data) == []
-        # the telemetry reference cell must itself satisfy the overhead cap
+        # the telemetry reference cells (unsharded and sharded) must
+        # themselves satisfy their overhead caps
         assert data["cell_obs_off_s"] > 0
         assert data["cell_traced_s"] > 0
+        assert data["shard_obs_off_s"] > 0
+        assert data["shard_traced_s"] > 0
         assert check_regression.tracing_overhead(data) == []
 
     def test_baseline_passes_against_itself(self):

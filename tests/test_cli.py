@@ -208,6 +208,96 @@ class TestSweep:
         assert "checkpoint ->" not in out
 
 
+class TestSweepTelemetry:
+    ARGS = ["sweep", "--policies", "read", "--disks", "4", "--baseline", "",
+            "--files", "60", "--requests", "800", "--interarrival-ms", "20"]
+
+    def test_status_out_feed_readable_by_obs_status(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        rc = main([*self.ARGS, "--status-out", str(status)])
+        assert rc == 0
+        assert "status feed ->" in capsys.readouterr().out
+        rc = main(["obs", "status", str(status)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sweep done: 1/1 cells" in out
+
+    def test_obs_status_json_document(self, tmp_path, capsys):
+        import json
+
+        status = tmp_path / "status.json"
+        assert main([*self.ARGS, "--status-out", str(status)]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "status", "--json", str(status)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "done"
+        assert doc["cells_done"] == 1
+        assert "read x 4 disks" in doc["cells"]
+
+    def test_sharded_sweep_writes_segments_and_merged_trace(
+            self, tmp_path, capsys):
+        base = tmp_path / "trace.jsonl"
+        rc = main([*self.ARGS, "--shards", "2", "--trace-out", str(base)])
+        assert rc == 0
+        assert "telemetry written per cell" in capsys.readouterr().out
+        assert (tmp_path / "trace-read-4.jsonl").exists()
+        assert (tmp_path / "trace-read-4.shard0000.jsonl").exists()
+        assert (tmp_path / "trace-read-4.shard0001.jsonl").exists()
+
+    def test_summarize_glob_rolls_segments_up(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--shards", "2",
+                     "--trace-out", str(base)]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "summarize", "--json",
+                   str(tmp_path / "trace-read-4.shard*.jsonl")])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "shard0000" in doc["source"] and "shard0001" in doc["source"]
+        # segments carry global disk ids: the rollup is array-wide
+        assert {row["disk"] for row in doc["by_disk"]} == {0, 1, 2, 3}
+
+    def test_summarize_accepts_multiple_paths(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--shards", "2",
+                     "--trace-out", str(base)]) == 0
+        capsys.readouterr()
+        s0 = str(tmp_path / "trace-read-4.shard0000.jsonl")
+        s1 = str(tmp_path / "trace-read-4.shard0001.jsonl")
+        rc = main(["obs", "summarize", "--json", s0, s1])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["source"] == f"{s0},{s1}"
+
+    def test_faults_with_shards_is_a_capability_error(self, capsys):
+        rc = main([*self.ARGS, "--faults", "on", "--shards", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--faults cannot be combined with --shards" in err
+
+    def test_summarize_glob_without_matches_errors(self, tmp_path, capsys):
+        rc = main(["obs", "summarize", str(tmp_path / "none.shard*.jsonl")])
+        assert rc == 2
+        assert "no trace files match" in capsys.readouterr().err
+
+    def test_obs_status_missing_file_errors(self, tmp_path, capsys):
+        rc = main(["obs", "status", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_status_rejects_non_status_json(self, tmp_path, capsys):
+        p = tmp_path / "other.json"
+        p.write_text('{"hello": 1}')
+        rc = main(["obs", "status", str(p)])
+        assert rc == 2
+        assert "not a sweep status document" in capsys.readouterr().err
+
+
 class TestPress:
     def test_point_evaluation(self, capsys):
         rc = main(["press", "--temp", "40", "--util", "30", "--freq", "0"])
