@@ -17,7 +17,11 @@ the numbers stay comparable across commits:
 * one sharded cell (16 disks / 4 shards) with telemetry off and with
   per-shard trace segments merged into one canonical trace, guarding
   the shard tracing-overhead ratio (the sharded pair additionally
-  crosses the SoA->object backend switch, so it has its own cap).
+  crosses the SoA->object backend switch, so it has its own cap);
+* one fault-injected redundancy cell (read x 8 disks, ``block4-2``,
+  accelerated hazard) exercising the degraded-read reconstruct fan-in
+  and rebuild fan-out paths end to end, guarding the per-request cost
+  of the redundancy-group machinery.
 
 The committed reference numbers live in ``BENCH_throughput.json`` at the
 repo root; each run writes its fresh measurement to
@@ -76,6 +80,13 @@ STREAM_SHARDS = 4
 #: shard partials into one SimulationResult.
 MERGE_DISKS = 64
 MERGE_SHARDS = 16
+
+#: The redundancy measurement: one fault-injected block4-2 cell whose
+#: accelerated hazard drives many requests through degraded-read
+#: reconstruction (k-leg fan-in) and rebuilds through survivor fan-out.
+REBUILD_DISKS = 8
+REBUILD_FAULTS_SPEC = "seed=3,accel=200000"
+REBUILD_SCHEME = "block4-2"
 
 
 def measure_batch_events_per_sec(n_disks: int = BATCH_DISKS,
@@ -149,6 +160,29 @@ def measure_cell_s(obs: ObsConfig | None = None, repeats: int = 2) -> float:
     for _ in range(repeats):
         spec = RunSpec(policy="read", n_disks=8, workload=SWEEP_WORKLOAD,
                        obs=obs)
+        start = perf_counter()
+        run_cells([spec], jobs=1)
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def measure_rebuild_cell_s(repeats: int = 2) -> float:
+    """Best-of-N wall-clock for the fault-injected redundancy cell.
+
+    The accelerated hazard fails several disks during the run, so a
+    large fraction of the trace is served through the k-leg reconstruct
+    fan-in while rebuild read legs stream across the survivors — the
+    most expensive request path the fault layer has."""
+    from repro.faults import parse_faults_spec
+    from repro.redundancy import parse_redundancy_spec
+
+    faults = parse_faults_spec(REBUILD_FAULTS_SPEC)
+    scheme = parse_redundancy_spec(REBUILD_SCHEME)
+    best = float("inf")
+    for _ in range(repeats):
+        spec = RunSpec(policy="read", n_disks=REBUILD_DISKS,
+                       workload=SWEEP_WORKLOAD, faults=faults,
+                       redundancy=scheme)
         start = perf_counter()
         run_cells([spec], jobs=1)
         best = min(best, perf_counter() - start)
@@ -232,6 +266,7 @@ def test_throughput(benchmark):
     with tempfile.TemporaryDirectory() as td:
         cell_traced_s = measure_cell_s(
             ObsConfig(trace_path=str(Path(td) / "trace.jsonl")))
+    rebuild_cell_s = measure_rebuild_cell_s()
     stream_rps = measure_stream_requests_per_sec()
     shard_merge_s = measure_shard_merge_s()
     shard_obs_off_s = measure_shard_cell_s(traced=False)
@@ -246,6 +281,7 @@ def test_throughput(benchmark):
         "sweep8_jobs4_s": round(jobs4_s, 3),
         "cell_obs_off_s": round(cell_obs_off_s, 3),
         "cell_traced_s": round(cell_traced_s, 3),
+        "rebuild_cell_s": round(rebuild_cell_s, 3),
         "stream_requests_per_sec": round(stream_rps),
         "shard_merge_s": round(shard_merge_s, 4),
         "shard_obs_off_s": round(shard_obs_off_s, 3),
@@ -273,6 +309,9 @@ def test_throughput(benchmark):
         f"{'':>12}",
         f"{'1 cell, traced [s]':<28}{cell_traced_s:>12.2f}"
         f"{baseline.get('cell_traced_s', float('nan')):>12.2f}"
+        f"{'':>12}",
+        f"{'1 cell, block4-2 faults [s]':<28}{rebuild_cell_s:>12.2f}"
+        f"{baseline.get('rebuild_cell_s', float('nan')):>12.2f}"
         f"{'':>12}",
         f"{'streamed shard req/sec':<28}{stream_rps:>12,.0f}"
         f"{baseline.get('stream_requests_per_sec', float('nan')):>12,.0f}"

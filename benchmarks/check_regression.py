@@ -72,6 +72,7 @@ _METRICS = {
     "sweep8_jobs4_s": False,
     "cell_obs_off_s": False,
     "cell_traced_s": False,
+    "rebuild_cell_s": False,
     "stream_requests_per_sec": True,
     "shard_merge_s": False,
     "shard_obs_off_s": False,

@@ -37,6 +37,7 @@ __all__ = ["ToolReport", "run_mypy", "run_ruff", "STRICT_MODULE_GLOBS",
 
 #: Path globs (relative to the repo root) checked strict — never baselined.
 STRICT_MODULE_GLOBS = ("src/repro/util/*.py", "src/repro/press/*.py",
+                       "src/repro/redundancy/*.py",
                        "src/repro/obs/events.py")
 
 BASELINE_RELPATH = Path("lint") / "mypy-baseline.txt"

@@ -23,7 +23,7 @@ __all__ = ["KERNEL_SCOPE", "ARTIFACT_SCOPE", "LAYER_CONTRACT"]
 
 #: Modules whose behaviour must be a pure function of the seed.
 KERNEL_SCOPE = ("repro.sim", "repro.disk", "repro.press",
-                "repro.policies", "repro.faults")
+                "repro.policies", "repro.faults", "repro.redundancy")
 
 #: Modules that persist artifacts and must do so crash-safely.
 ARTIFACT_SCOPE = ("repro.experiments", "repro.obs", "repro.workload")
@@ -441,10 +441,12 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "press": frozenset({"util", "disk"}),
     "policies": frozenset({"util", "sim", "disk", "obs", "workload"}),
     "core": frozenset({"util", "sim", "disk", "policies", "workload"}),
+    "redundancy": frozenset({"util", "press"}),
     "faults": frozenset({"util", "sim", "disk", "press", "policies",
-                         "obs", "workload"}),
+                         "obs", "workload", "redundancy"}),
     "experiments": frozenset({"util", "sim", "disk", "press", "policies",
-                              "obs", "workload", "faults", "core"}),
+                              "obs", "workload", "faults", "core",
+                              "redundancy"}),
     "analysis": frozenset({"util", "obs"}),
 }
 

@@ -27,9 +27,11 @@ Five commands mirror the library's main entry points:
 (``--trace-out``, ``--metrics-out``, ``--sample-interval``) that attach
 the :mod:`repro.obs` layer to the run; ``sweep`` additionally takes
 ``--status-out`` for a crash-safe live progress feed folded from the
-harness span events.  Unsupported flag combinations (e.g. ``--faults``
-with ``--shards``) fail fast with a capability error before any cell
-runs.
+harness span events.  ``simulate``, ``compare``, ``sweep``,
+``worthwhile``, and ``report`` accept ``--redundancy`` to lay the array
+out in k-of-n groups (see :mod:`repro.redundancy`).  Unsupported flag
+combinations (e.g. ``--faults`` or ``--redundancy`` with ``--shards``)
+fail fast with a capability error before any cell runs.
 
 Every command is a pure function of its arguments (workloads are seeded)
 so CLI output is reproducible and scriptable.
@@ -104,6 +106,24 @@ def _faults_config(args: argparse.Namespace):
     return parse_faults_spec(args.faults)
 
 
+def _add_redundancy_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--redundancy", default=None, metavar="SCHEME",
+        help="lay the array out in redundancy groups: a preset "
+             "('mirror2', 'mirror3', 'mirror3dc', 'block4-2') or "
+             "'mirrorN'; degraded reads reconstruct from survivors and "
+             "the summary gains a CTMC reliability cross-check "
+             "(MTTDL, P(loss))")
+
+
+def _redundancy_scheme(args: argparse.Namespace):
+    if args.redundancy is None:
+        return None
+    from repro.redundancy import parse_redundancy_spec
+
+    return parse_redundancy_spec(args.redundancy)
+
+
 def _add_obs_args(parser: argparse.ArgumentParser, *,
                   profile: bool = False) -> None:
     group = parser.add_argument_group("telemetry")
@@ -167,7 +187,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     obs = _obs_config(args)
     result = run_simulation(policy, fileset, trace, n_disks=args.disks,
                             disk_params=config.disk_params,
-                            faults=_faults_config(args), obs=obs)
+                            faults=_faults_config(args), obs=obs,
+                            redundancy=_redundancy_scheme(args))
 
     print(format_table([result.summary_row()], title=f"{args.policy} on {args.disks} disks"))
     if obs is not None:
@@ -191,6 +212,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{f.data_loss_events} data-loss event(s) ({f.files_lost} files)")
         for disk_id, at_s in f.failure_schedule:
             print(f"  disk {disk_id} failed at t={at_s:.1f} s")
+    if result.redundancy is not None:
+        red = result.redundancy
+        counts = red.state_counts()
+        print()
+        print(f"redundancy [{red.scheme}]: {red.n_groups} group(s) — "
+              f"{counts['healthy']} healthy, {counts['degraded']} degraded, "
+              f"{counts['critical']} critical, {counts['lost']} lost")
+        print(f"  degraded reads: {red.reconstruct_reads} reconstructed "
+              f"({red.reconstruct_legs} leg(s)); rebuild fan-out: "
+              f"{red.rebuild_read_legs} read leg(s); "
+              f"{red.domain_outages} domain outage(s)")
+        if red.ctmc is not None:
+            c = red.ctmc
+            print(f"  CTMC: MTTDL {c.mttdl_array_years:.3g} yr, "
+                  f"P(loss, {c.mission_years:g} yr mission) = "
+                  f"{c.p_loss_array:.3g} "
+                  f"(rebuild {c.rebuild_hours:.2g} h)")
     if args.per_disk:
         rows = [{
             "disk": f.disk_id,
@@ -251,7 +289,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     obs = _obs_config(args)
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
                               faults=_faults_config(args), obs=obs,
-                              jobs=args.jobs)
+                              jobs=args.jobs,
+                              redundancy=_redundancy_scheme(args))
     if obs is not None and (obs.trace_path or obs.metrics_path):
         print("telemetry written per cell "
               "(paths suffixed with -<policy>-<disks>)")
@@ -275,6 +314,12 @@ def _validate_sweep_combos(args: argparse.Namespace) -> None:
         raise ValueError(
             "--profile cannot be combined with --shards: kernel profiling "
             "wraps one event loop, and a sharded cell runs several")
+    if args.shards is not None and getattr(args, "redundancy", None) is not None:
+        raise ValueError(
+            "--redundancy cannot be combined with --shards: redundancy "
+            "groups span the whole array (degraded reads and rebuild "
+            "fan-out reach disks in other shards); drop --shards to "
+            "combine --redundancy with this workload")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -322,7 +367,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                   obs=obs, bus=bus,
                                   shards=args.shards,
                                   shard_assignment=args.assignment,
-                                  stream_chunk=args.stream_chunk)
+                                  stream_chunk=args.stream_chunk,
+                                  redundancy=_redundancy_scheme(args))
     except BaseException:
         if status_writer is not None:
             status_writer.finish(state="failed")
@@ -383,16 +429,28 @@ def _cmd_worthwhile(args: argparse.Namespace) -> int:
 
     config = ExperimentConfig(workload=_workload_config(args))
     fileset, trace = config.generate()
+    redundancy = _redundancy_scheme(args)
     scheme = run_simulation(make_policy(args.scheme), fileset, trace,
-                            n_disks=args.disks, disk_params=config.disk_params)
+                            n_disks=args.disks, disk_params=config.disk_params,
+                            redundancy=redundancy)
     reference = run_simulation(make_policy(args.reference), fileset, trace,
-                               n_disks=args.disks, disk_params=config.disk_params)
+                               n_disks=args.disks, disk_params=config.disk_params,
+                               redundancy=redundancy)
     assumptions = CostAssumptions(
         electricity_usd_per_kwh=args.electricity,
         disk_replacement_usd=args.disk_price,
         data_loss_cost_usd=args.data_value)
     verdict = evaluate_worthwhileness(scheme, reference, assumptions)
     print(f"{args.scheme} vs {args.reference} on {args.disks} disks:")
+    print(f"  PRESS max-AFR      : {scheme.array_afr_percent:.3f} % vs "
+          f"{reference.array_afr_percent:.3f} % (reference)")
+    if verdict.scheme_ctmc is not None and verdict.reference_ctmc is not None:
+        sc, rc = verdict.scheme_ctmc, verdict.reference_ctmc
+        print(f"  CTMC [{sc.scheme}]    : MTTDL {sc.mttdl_array_years:.3g} yr "
+              f"vs {rc.mttdl_array_years:.3g} yr; P(loss, "
+              f"{sc.mission_years:g} yr) {sc.p_loss_array:.3g} vs "
+              f"{rc.p_loss_array:.3g}")
+    print(f"  loss model         : {verdict.loss_model}")
     print(f"  energy saving      : {verdict.energy_saving_usd_per_year:+,.0f} $/yr")
     print(f"  extra failure cost : {verdict.extra_failure_cost_usd_per_year:+,.0f} $/yr")
     print(f"  net benefit        : {verdict.net_benefit_usd_per_year:+,.0f} $/yr")
@@ -413,7 +471,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     disk_counts = [int(d) for d in args.disks.split(",")]
     fig7 = figure7_comparison(config, disk_counts=disk_counts, policies=policies,
-                              faults=_faults_config(args), jobs=args.jobs)
+                              faults=_faults_config(args), jobs=args.jobs,
+                              redundancy=_redundancy_scheme(args))
     path = write_markdown_report(fig7, args.out, baseline=args.baseline or None)
     print(f"wrote report -> {path}")
     return 0
@@ -536,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--per-disk", action="store_true",
                        help="also print per-disk ESRRA factors")
     _add_faults_arg(p_sim)
+    _add_redundancy_arg(p_sim)
     _add_obs_args(p_sim, profile=True)
     _add_workload_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
@@ -552,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--verbose", action="store_true",
                        help="log per-cell sweep progress to stderr")
     _add_faults_arg(p_cmp)
+    _add_redundancy_arg(p_cmp)
     _add_obs_args(p_cmp)
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
@@ -612,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "a hung cell dumps all thread stacks to "
                                 "stderr before being killed")
     _add_faults_arg(p_sweep)
+    _add_redundancy_arg(p_sweep)
     _add_obs_args(p_sweep)
     p_sweep.add_argument("--status-out", default=None, metavar="FILE",
                          help="maintain a live JSON status feed here "
@@ -637,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_worth.add_argument("--disk-price", type=float, default=300.0)
     p_worth.add_argument("--data-value", type=float, default=5_000.0,
                          help="expected $ cost of data lost with a disk")
+    _add_redundancy_arg(p_worth)
     _add_workload_args(p_worth)
     p_worth.set_defaults(func=_cmd_worthwhile)
 
@@ -650,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--verbose", action="store_true",
                        help="log per-cell sweep progress to stderr")
     _add_faults_arg(p_rep)
+    _add_redundancy_arg(p_rep)
     _add_workload_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 

@@ -12,6 +12,20 @@ a reference) by converting
   (failures/year x [disk replacement + expected data-loss cost]),
 
 both normalized to one year of operation at the simulated duty.
+
+Loss-cost coupling
+------------------
+Without redundancy information the data-loss cost is charged per
+independent disk failure — every failure is assumed to lose its data,
+the paper's (and the legacy) convention.  When either result carries a
+CTMC reliability assessment (``SimulationResult.redundancy``, produced
+by running with ``--redundancy``), the data-loss term is instead routed
+through the scheme-aware expected loss-event rate (``1 / MTTDL``):
+replacement cost still scales with disk failures (every failed disk is
+replaced regardless of redundancy), but data loss only accrues when the
+redundancy is actually pierced.  For ``scheme=none`` the CTMC rate
+degenerates to the per-disk failure rate, so both paths agree there by
+construction.
 """
 
 from __future__ import annotations
@@ -19,10 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.metrics import SimulationResult
+from repro.redundancy.ctmc import CtmcResult
 from repro.util.units import SECONDS_PER_YEAR, joules_to_kwh
 from repro.util.validation import require, require_non_negative, require_positive
 
-__all__ = ["CostAssumptions", "WorthwhileVerdict", "evaluate_worthwhileness"]
+__all__ = ["CostAssumptions", "WorthwhileVerdict", "evaluate_worthwhileness",
+           "expected_failures_per_year", "expected_loss_events_per_year"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +79,13 @@ class WorthwhileVerdict:
     reference: str
     energy_saving_usd_per_year: float
     extra_failure_cost_usd_per_year: float
+    #: How the data-loss term was computed: ``"per-disk-afr"`` (legacy,
+    #: every disk failure loses its data) or ``"ctmc"`` (scheme-aware
+    #: loss-event rate from the redundancy CTMC).
+    loss_model: str = "per-disk-afr"
+    #: CTMC assessments backing a ``"ctmc"`` verdict (None under legacy).
+    scheme_ctmc: CtmcResult | None = None
+    reference_ctmc: CtmcResult | None = None
 
     @property
     def net_benefit_usd_per_year(self) -> float:
@@ -84,11 +107,26 @@ def expected_failures_per_year(afr_percent: float, n_disks: int) -> float:
 
     Conservative reading of the paper's array-AFR convention: the max
     per-disk AFR is applied to every disk (the array is "only as
-    reliable as its least reliable disk").
+    reliable as its least reliable disk").  ``n_disks == 0`` is legal
+    and yields 0.0 (an empty array cannot fail).
     """
     require_non_negative(afr_percent, "afr_percent")
-    require(n_disks >= 1, f"n_disks must be >= 1, got {n_disks}")
+    require(n_disks >= 0, f"n_disks must be >= 0, got {n_disks}")
     return afr_percent / 100.0 * n_disks
+
+
+def expected_loss_events_per_year(result: SimulationResult) -> float:
+    """Expected *data-loss* incidents per year for one result.
+
+    With a CTMC assessment attached this is the scheme-aware rate
+    ``1 / MTTDL_array``; without one it falls back to the legacy
+    every-failure-loses-data convention (per-disk failure count at the
+    array AFR), which is exactly what the CTMC degenerates to for
+    ``scheme=none``.
+    """
+    if result.redundancy is not None and result.redundancy.ctmc is not None:
+        return result.redundancy.ctmc.loss_events_per_year
+    return expected_failures_per_year(result.array_afr_percent, result.n_disks)
 
 
 def evaluate_worthwhileness(scheme: SimulationResult, reference: SimulationResult,
@@ -101,6 +139,11 @@ def evaluate_worthwhileness(scheme: SimulationResult, reference: SimulationResul
     energy saving (the scheme used more energy) and a *negative* extra
     failure cost (the scheme is more reliable) are both legal and simply
     flow through the net-benefit sign.
+
+    When either result carries a CTMC assessment (it ran with
+    ``--redundancy``), the verdict's data-loss term switches to the
+    scheme-aware loss-event rate (see the module docstring); runs
+    without one keep the legacy per-failure charge bit-for-bit.
     """
     a = assumptions or CostAssumptions()
     require(scheme.n_disks == reference.n_disks,
@@ -116,11 +159,26 @@ def evaluate_worthwhileness(scheme: SimulationResult, reference: SimulationResul
     extra_failures = (expected_failures_per_year(scheme.array_afr_percent, scheme.n_disks)
                       - expected_failures_per_year(reference.array_afr_percent,
                                                    reference.n_disks))
-    failure_usd = extra_failures * a.failure_cost_usd
+    scheme_ctmc = None if scheme.redundancy is None else scheme.redundancy.ctmc
+    reference_ctmc = (None if reference.redundancy is None
+                      else reference.redundancy.ctmc)
+    if scheme_ctmc is None and reference_ctmc is None:
+        # legacy: every extra disk failure is charged replacement + loss
+        failure_usd = extra_failures * a.failure_cost_usd
+        loss_model = "per-disk-afr"
+    else:
+        extra_losses = (expected_loss_events_per_year(scheme)
+                        - expected_loss_events_per_year(reference))
+        failure_usd = (extra_failures * a.disk_replacement_usd
+                       + extra_losses * a.data_loss_cost_usd)
+        loss_model = "ctmc"
 
     return WorthwhileVerdict(
         scheme=scheme.policy_name,
         reference=reference.policy_name,
         energy_saving_usd_per_year=energy_usd,
         extra_failure_cost_usd_per_year=failure_usd,
+        loss_model=loss_model,
+        scheme_ctmc=scheme_ctmc,
+        reference_ctmc=reference_ctmc,
     )

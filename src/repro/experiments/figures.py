@@ -19,6 +19,7 @@ from repro.experiments.parallel import RunSpec, run_cells
 from repro.experiments.resilience import ResilienceConfig, ResilienceSummary
 from repro.experiments.runner import ExperimentConfig
 from repro.faults import FaultConfig
+from repro.redundancy.scheme import GroupScheme
 from repro.obs import ObsConfig
 from repro.press.frequency import FrequencyReliability
 from repro.press.model import PRESSModel
@@ -133,6 +134,7 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
                        policy_kwargs: dict[str, dict] | None = None,
                        faults: FaultConfig | None = None,
                        obs: ObsConfig | None = None,
+                       redundancy: GroupScheme | None = None,
                        jobs: int = 1,
                        resilience: ResilienceConfig | None = None,
                        checkpoint=None,
@@ -148,6 +150,9 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
     cells over a process pool; results are identical for any value.
     ``faults`` turns on in-run fault injection for every cell, adding
     realized-reliability metrics next to the paper's three.
+    ``redundancy`` attaches a group scheme to every cell (array sizes
+    must be multiples of its group size); incompatible with ``shards``
+    like ``faults``.
     ``obs`` enables telemetry per cell; any output paths it names are
     suffixed with the cell's ``<policy>-<disks>`` so parallel cells
     never write to the same file.
@@ -182,6 +187,7 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
         return _figure7_sharded(cfg, disk_counts=disk_counts,
                                 policies=policies, press=press,
                                 policy_kwargs=kwargs, faults=faults, obs=obs,
+                                redundancy=redundancy,
                                 jobs=jobs, resilience=resilience,
                                 checkpoint=checkpoint, shards=shards,
                                 assignment=shard_assignment,
@@ -190,7 +196,7 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
         RunSpec(policy=name, n_disks=n, workload=cfg.workload,
                 policy_kwargs=kwargs.get(name, {}),
                 disk_params=cfg.disk_params, press=press, faults=faults,
-                obs=_cell_obs(obs, name, n))
+                obs=_cell_obs(obs, name, n), redundancy=redundancy)
         for name in policies for n in disk_counts
     ]
     summary: ResilienceSummary | None = None
@@ -213,7 +219,8 @@ def figure7_comparison(config: ExperimentConfig | None = None, *,
 def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
                      policies: Sequence[str], press: PRESSModel | None,
                      policy_kwargs: dict[str, dict], faults, obs,
-                     jobs: int, resilience: ResilienceConfig | None,
+                     redundancy, jobs: int,
+                     resilience: ResilienceConfig | None,
                      checkpoint, shards: int, assignment: str,
                      stream_chunk: int | None, bus=None) -> Figure7Results:
     """The sharded arm of :func:`figure7_comparison`.
@@ -242,7 +249,13 @@ def _figure7_sharded(cfg: ExperimentConfig, *, disk_counts: Sequence[int],
     from repro.workload.stream import DEFAULT_CHUNK_SIZE
 
     require(faults is None,
-            "fault injection is not supported under sharding")
+            "fault injection is not supported under sharding "
+            "(the failure schedule is array-global; drop --shards to "
+            "combine --faults with this sweep)")
+    require(redundancy is None,
+            "redundancy groups are not supported under sharding "
+            "(group geometry spans shard boundaries; drop --shards to "
+            "combine --redundancy with this sweep)")
     require(obs is None or not obs.profile,
             "kernel profiling is not supported under sharding "
             "(profiles are per-kernel wall timings; profile the "

@@ -17,6 +17,7 @@ import numpy as np
 from repro.disk.drive import Job
 from repro.faults.metrics import FaultSummary
 from repro.obs.profiler import ProfileSummary
+from repro.redundancy.metrics import RedundancySummary
 from repro.obs.sampler import TimeSeries
 from repro.press.model import DiskFactors
 from repro.util.validation import require
@@ -152,6 +153,9 @@ class SimulationResult:
     #: unsharded run's for shard-decomposable policies — so it is part
     #: of equality, like ``timeseries``.
     metrics: dict[str, dict[str, object]] | None = None
+    #: Redundancy-group outcome + CTMC reliability; ``None`` unless a
+    #: ``--redundancy`` scheme was active.
+    redundancy: RedundancySummary | None = None
 
     @property
     def energy_kwh(self) -> float:
@@ -187,4 +191,6 @@ class SimulationResult:
         }
         if self.faults is not None:
             row.update(self.faults.summary_row())
+        if self.redundancy is not None:
+            row.update(self.redundancy.summary_row())
         return row

@@ -37,6 +37,7 @@ from repro.faults import FaultConfig
 from repro.obs import ObsConfig
 from repro.obs.log import get_logger
 from repro.press.model import PRESSModel
+from repro.redundancy.scheme import GroupScheme
 from repro.util.validation import require
 from repro.workload.cache import cached_generate, workload_key
 from repro.workload.stream import WorkloadLike
@@ -101,6 +102,10 @@ class RunSpec:
     #: ``ShardCellResult`` (an open partial result the shard merger
     #: closes), not a ``SimulationResult``.  ``None`` = ordinary cell.
     shard: "Optional[ShardCellSpec]" = None
+    #: Redundancy-group scheme (``None`` = no layout; see
+    #: :mod:`repro.redundancy`).  Frozen plain data, pickles across the
+    #: pool like the rest of the spec.
+    redundancy: Optional[GroupScheme] = None
 
     def label(self) -> str:
         """Compact human-readable cell name for errors and progress."""
@@ -141,7 +146,8 @@ def run_cell(spec: RunSpec) -> SimulationResult:
                           disk_params=spec.disk_params, press=spec.press,
                           initial_speed=spec.initial_speed,
                           queue_discipline=spec.queue_discipline,
-                          faults=spec.faults, obs=spec.obs)
+                          faults=spec.faults, obs=spec.obs,
+                          redundancy=spec.redundancy)
 
 
 def run_cells(specs: Iterable[RunSpec], *, jobs: int = 1,

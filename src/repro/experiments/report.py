@@ -59,6 +59,40 @@ def _faults_section(fig7: Figure7Results) -> str:
             + _md_table(header, rows))
 
 
+def _redundancy_section(fig7: Figure7Results) -> str:
+    """Group states + CTMC reliability, present only for redundant runs."""
+    if not any(r.redundancy is not None
+               for runs in fig7.results.values() for r in runs):
+        return ""
+    header = ["policy", "disks", "scheme", "groups", "degraded", "critical",
+              "lost", "reconstruct reads", "rebuild read legs",
+              "domain outages", "MTTDL yr", "P(loss, mission)"]
+    rows = []
+    for policy, runs in fig7.results.items():
+        for n, result in zip(fig7.disk_counts, runs):
+            red = result.redundancy
+            if red is None:
+                continue
+            counts = red.state_counts()
+            mttdl = "inf"
+            p_loss = "0"
+            if red.ctmc is not None:
+                mttdl = f"{red.ctmc.mttdl_array_years:.3g}"
+                p_loss = f"{red.ctmc.p_loss_array:.3g}"
+            rows.append([policy, str(n), red.scheme, str(red.n_groups),
+                         str(counts["degraded"]), str(counts["critical"]),
+                         str(counts["lost"]), str(red.reconstruct_reads),
+                         str(red.rebuild_read_legs),
+                         str(red.domain_outages), mttdl, p_loss])
+    note = ("MTTDL and P(loss) come from the redundancy CTMC "
+            "(birth-death chain per loss unit at PRESS-derived rates), "
+            "not from the max-AFR column above: max-AFR is scheme-blind, "
+            "the CTMC charges data loss only when the redundancy is "
+            "pierced.")
+    return ("### Redundancy groups (CTMC reliability)\n\n"
+            + _md_table(header, rows) + "\n\n" + note)
+
+
 def _resilience_section(fig7: Figure7Results) -> str:
     """Harness fault ledger, present only for resilience-engine sweeps.
 
@@ -146,6 +180,11 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
         parts.append(fault_section)
         parts.append("")
 
+    redundancy_section = _redundancy_section(fig7)
+    if redundancy_section:
+        parts.append(redundancy_section)
+        parts.append("")
+
     runtime_section = _runtime_section(fig7)
     if runtime_section:
         parts.append(runtime_section)
@@ -173,7 +212,8 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
                      f"{a.power_overhead_factor:.1f} overhead, disk "
                      f"${a.disk_replacement_usd:.0f}, data loss "
                      f"${a.data_loss_cost_usd:.0f}.\n")
-        header = ["scheme", "disks", "energy $/yr", "failure $/yr", "net $/yr", "verdict"]
+        header = ["scheme", "disks", "energy $/yr", "failure $/yr",
+                  "net $/yr", "loss model", "verdict"]
         rows = []
         for policy in policies:
             if policy == reference_name:
@@ -185,6 +225,7 @@ def render_markdown_report(fig7: Figure7Results, *, title: str = "Policy compari
                              f"{verdict.energy_saving_usd_per_year:+.0f}",
                              f"{verdict.extra_failure_cost_usd_per_year:+.0f}",
                              f"{verdict.net_benefit_usd_per_year:+.0f}",
+                             verdict.loss_model,
                              "worthwhile" if verdict.worthwhile else "not worthwhile"])
         parts.append(_md_table(header, rows))
         parts.append("")

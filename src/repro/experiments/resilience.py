@@ -111,6 +111,10 @@ def spec_key(spec: RunSpec) -> str:
     # checkpointed shards.
     if spec.shard is not None:
         payload = payload + (spec.shard.plan, spec.shard.index)
+    # same append-only-when-set contract: redundancy-free specs keep
+    # their pre-redundancy checkpoint keys
+    if spec.redundancy is not None:
+        payload = payload + (spec.redundancy,)
     return hashlib.sha256(pickle.dumps(payload, protocol=4)).hexdigest()
 
 

@@ -52,6 +52,10 @@ from repro.policies.pdc import PDCConfig, PDCPolicy
 from repro.policies.static import StaticHighPolicy, StaticLowPolicy
 from repro.policies.striped import StripedPolicyConfig, StripedStaticPolicy
 from repro.press.model import PRESSModel
+from repro.redundancy.ctmc import CtmcResult, assess_scheme
+from repro.redundancy.groups import RedundancyGroups
+from repro.redundancy.metrics import RedundancySummary, RedundancyTracker
+from repro.redundancy.scheme import GroupScheme
 from repro.sim.engine import Simulator
 from repro.util.validation import require
 from repro.workload.files import FileSet
@@ -171,7 +175,8 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
                    queue_discipline: QueueDiscipline = QueueDiscipline.FCFS,
                    faults: FaultConfig | None = None,
                    obs: ObsConfig | None = None,
-                   kernel_backend: str = "auto") -> SimulationResult:
+                   kernel_backend: str = "auto",
+                   redundancy: GroupScheme | None = None) -> SimulationResult:
     """Run one policy over one trace on an ``n_disks`` array.
 
     The same (fileset, trace) pair should be passed to every competing
@@ -193,10 +198,23 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     faults/tracing force the object path — see
     :func:`resolve_kernel_backend`).  Results are bit-identical across
     backends; the resolved choice is recorded in the result.
+
+    ``redundancy`` attaches a :class:`~repro.redundancy.scheme.GroupScheme`
+    layout (``n_disks`` must be a multiple of its group size).  With
+    faults on, the group geometry drives degraded reads, the data-loss
+    census, rebuild fan-out, and (when ``domain_outage_per_year`` is
+    set) correlated domain failures; with faults off the run itself is
+    untouched and only the CTMC reliability assessment is computed from
+    the run's PRESS factors.  ``None`` and the ``"none"`` scheme keep
+    every path bit-identical to a redundancy-free run.
     """
     require(len(trace) >= 1, "trace must contain at least one request")
     params = disk_params if disk_params is not None else _default_disk_params()
     model = press if press is not None else _default_press()
+    scheme = (None if redundancy is None or not redundancy.is_redundant
+              else redundancy)
+    groups = (None if scheme is None
+              else RedundancyGroups(scheme, n_disks))
     backend = resolve_kernel_backend(
         kernel_backend, faults_on=faults is not None,
         tracing_on=obs is not None and obs.trace_path is not None)
@@ -234,7 +252,8 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     else:
         injector = FaultInjector(sim, array, policy, model, faults,
                                  on_success=metrics.on_complete,
-                                 on_permanent_failure=metrics.on_failed)
+                                 on_permanent_failure=metrics.on_failed,
+                                 redundancy=groups)
         injector.install()
         policy.completion_callback = injector.on_user_job_complete
     policy.initial_layout()
@@ -309,6 +328,32 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
     profile = profiler.summary(wall_clock_s=wall_clock_s) if profiler is not None else None
 
     afr, factors = model.evaluate_array(array, duration)
+
+    redundancy_summary: RedundancySummary | None = None
+    if scheme is not None and groups is not None:
+        measured_s = (injector.rtracker.mean_rebuild_s()
+                      if injector is not None and injector.rtracker is not None
+                      else None)
+        if measured_s is not None:
+            rebuild_hours = max(measured_s / 3600.0, 1e-3)
+        else:
+            # no rebuild completed (or faults off): estimate operator
+            # delay + a full-capacity copy stream at high speed
+            delay_s = (faults.repair_delay_s if faults is not None
+                       else FaultConfig().repair_delay_s)
+            used = max((float(m) for m in array.used_mb), default=0.0)
+            transfer = params.mode(DiskSpeed.HIGH).transfer_mb_s
+            rebuild_hours = max((delay_s + used / transfer) / 3600.0, 1e-3)
+        ctmc: CtmcResult | None = assess_scheme(
+            scheme, [f.afr_percent for f in factors],
+            rebuild_hours=rebuild_hours)
+        if injector is not None:
+            redundancy_summary = injector.redundancy_summary(ctmc)
+        else:
+            redundancy_summary = RedundancyTracker().summarize(
+                scheme=scheme.name, n_groups=groups.n_groups,
+                final_states=("healthy",) * groups.n_groups, ctmc=ctmc)
+
     breakdown: dict[str, float] = {}
     for drive in array.drives:
         for state, joules in drive.energy.breakdown().items():
@@ -341,4 +386,5 @@ def run_simulation(policy: Policy, fileset: FileSet, trace: Trace, *,
         profile=profile,
         kernel_backend=backend,
         metrics=metrics_snapshot,
+        redundancy=redundancy_summary,
     )

@@ -366,7 +366,17 @@ def run_shard_cell(spec: RunSpec) -> ShardCellResult:
     assert shard is not None  # for the type checker
     require(spec.faults is None,
             "fault injection is not supported under sharding "
-            "(the fault schedule is array-global)")
+            "(the failure schedule is array-global: hazard budgets, "
+            "degraded-mode redirects, and rebuild traffic couple disks "
+            "across shard boundaries, so no shard can reproduce its "
+            "slice independently; run the cell unsharded — drop "
+            "--shards — to combine --faults with this workload)")
+    require(spec.redundancy is None,
+            "redundancy groups are not supported under sharding "
+            "(group geometry spans shard boundaries: reconstruct reads "
+            "and rebuild fan-out touch disks in other shards; run the "
+            "cell unsharded — drop --shards — to combine --redundancy "
+            "with this workload)")
     obs = spec.obs
     require(obs is None or not obs.profile,
             "kernel profiling is not supported under sharding "

@@ -44,6 +44,16 @@ class FaultConfig:
     retry_timeout_s:
         Wall-clock cap, from arrival, after which a request is failed
         permanently instead of retried again.
+    domain_outage_per_year:
+        Rate of whole-fault-domain outages (rack power, datacenter
+        network), events per domain per year before acceleration.
+        Meaningful only when a ``--redundancy`` scheme with more than
+        one fault domain is active; 0 (the default) disables the
+        correlated-failure sampler entirely, keeping the failure
+        schedule identical to pre-redundancy runs.  Outage rates are
+        constant (external hazards, unlike the workload-driven PRESS
+        per-disk hazard) and are accelerated by ``accel`` like disk
+        failures.
     """
 
     seed: int = 0
@@ -53,6 +63,7 @@ class FaultConfig:
     max_retries: int = 2
     retry_backoff_s: float = 0.5
     retry_timeout_s: float = 120.0
+    domain_outage_per_year: float = 0.0
 
     def __post_init__(self) -> None:
         require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
@@ -63,6 +74,7 @@ class FaultConfig:
                 f"max_retries must be >= 0, got {self.max_retries}")
         require_positive(self.retry_backoff_s, "retry_backoff_s")
         require_positive(self.retry_timeout_s, "retry_timeout_s")
+        require_non_negative(self.domain_outage_per_year, "domain_outage_per_year")
 
 
 _INT_FIELDS = {"seed", "max_retries"}

@@ -38,6 +38,35 @@ are redirected to a live alternate copy when the policy has one
 fail fast and re-enter through the retry path (bounded by
 ``max_retries`` / ``retry_timeout_s``) so a disk coming back mid-run can
 still serve them.
+
+Redundancy groups
+-----------------
+When a :class:`~repro.redundancy.groups.RedundancyGroups` layout is
+attached, the group geometry supersedes the policy's copy metadata on
+the whole fault path:
+
+* *Serving*: a request whose target is down reconstructs from the
+  group — a mirror read redirects to a live copy, a parity read fans
+  ``k`` shard-sized internal legs across survivors and completes on the
+  last leg (striped-style fan-in).  A request is unservable only when
+  the group has fewer than ``k`` survivors.
+* *Census*: the data-loss census at failure time asks the group (any
+  ``k`` survivors?) instead of the policy's alternates.
+* *Rebuild*: the restoration stream is pipelined — shard/copy read legs
+  are fanned across the surviving sources *concurrently* with the
+  replacement's write stream (the real rebuild storm: survivors serve
+  user traffic and rebuild reads at once).  A lost group falls back to
+  the legacy single write stream (a cold restore from external backup).
+* *Correlated failures*: ``domain_outage_per_year > 0`` adds per-domain
+  outage sampling (constant-rate exponential budgets from the same
+  seeded stream family) that fails every up disk of one fault domain at
+  the same instant.
+* *Health*: every topology change reclassifies the affected group
+  (healthy/degraded/critical/lost).  Health uses the injector's
+  *lifecycle* view (a disk counts down until its rebuild completes),
+  while serving uses the drive view (a REBUILDING disk queues requests
+  behind the rebuild stream) — the former describes redundancy slack,
+  the latter availability.
 """
 
 from __future__ import annotations
@@ -53,6 +82,9 @@ from repro.obs import events as ev
 from repro.policies.base import Policy
 from repro.press.hazard import annual_failure_rate_to_rate
 from repro.press.model import PRESSModel
+from repro.redundancy.ctmc import CtmcResult
+from repro.redundancy.groups import GroupHealth, RedundancyGroups
+from repro.redundancy.metrics import RedundancySummary, RedundancyTracker
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.timers import PeriodicTask
 from repro.util.rngtools import fixed_seed_sequence
@@ -73,12 +105,14 @@ class DiskLifecycle(enum.Enum):
 class FaultInjector:
     """Samples disk failures from the PRESS hazard and mediates serving.
 
-    Event priorities: failures (20) fire before rebuild starts (22),
-    retries (25), and the hazard refresh (30), so a failure scheduled at
-    the exact refresh instant is applied before the next hazard scoring,
-    and all of them fire after same-time job completions (priority 0).
+    Event priorities: domain outages (18) and failures (20) fire before
+    rebuild starts (22), retries (25), and the hazard refresh (30), so a
+    failure scheduled at the exact refresh instant is applied before the
+    next hazard scoring, and all of them fire after same-time job
+    completions (priority 0).
     """
 
+    _PRIO_DOMAIN = 18
     _PRIO_FAIL = 20
     _PRIO_REBUILD = 22
     _PRIO_RETRY = 25
@@ -87,7 +121,8 @@ class FaultInjector:
     def __init__(self, sim: Simulator, array: DiskArray, policy: Policy,
                  press: PRESSModel, config: FaultConfig, *,
                  on_success: Callable[[Job], None],
-                 on_permanent_failure: Callable[[Job], None]) -> None:
+                 on_permanent_failure: Callable[[Job], None],
+                 redundancy: Optional[RedundancyGroups] = None) -> None:
         self._sim = sim
         self._trace = sim.trace
         self._array = array
@@ -97,6 +132,12 @@ class FaultInjector:
         self._on_success = on_success
         self._on_permanent_failure = on_permanent_failure
         self.tracker = FaultTracker()
+        self._groups = redundancy
+        self.rtracker: Optional[RedundancyTracker] = None
+        self._group_health: list[GroupHealth] = []
+        if redundancy is not None:
+            self.rtracker = RedundancyTracker()
+            self._group_health = [GroupHealth.HEALTHY] * redundancy.n_groups
 
         n = array.n_disks
         streams = fixed_seed_sequence(config.seed,
@@ -113,6 +154,23 @@ class FaultInjector:
         #: per-year -> per-second, with acceleration folded in once
         self._rate_scale = config.accel / SECONDS_PER_YEAR
 
+        # correlated fault-domain outages: constant-rate exponential
+        # budgets from their own label family, so enabling them never
+        # perturbs the per-disk draws (and vice versa)
+        self._pending_outage: list[Optional[EventHandle]] = []
+        self._domain_rate = 0.0
+        if (redundancy is not None and config.domain_outage_per_year > 0.0
+                and redundancy.scheme.fault_domains > 1):
+            n_dom = redundancy.scheme.fault_domains
+            dom_streams = fixed_seed_sequence(
+                config.seed, [f"domain-{i}" for i in range(n_dom)])
+            self._domain_rngs = [dom_streams[f"domain-{i}"]
+                                 for i in range(n_dom)]
+            self._pending_outage = [None] * n_dom
+            self._domain_rate = config.domain_outage_per_year * self._rate_scale
+        else:
+            self._domain_rngs = []
+
     # ------------------------------------------------------------------
     # lifecycle of the injector itself
     # ------------------------------------------------------------------
@@ -122,13 +180,16 @@ class FaultInjector:
         self._refresh_task = PeriodicTask(
             self._sim, self.config.hazard_refresh_s, self._refresh,
             priority=self._PRIO_REFRESH)
+        for domain in range(len(self._domain_rngs)):
+            self._schedule_outage(domain)
 
     def shutdown(self) -> None:
-        """Stop ticks and cancel pending failure/rebuild events."""
+        """Stop ticks and cancel pending failure/rebuild/outage events."""
         if self._refresh_task is not None:
             self._refresh_task.stop()
             self._refresh_task = None
-        for handles in (self._pending_failure, self._pending_rebuild):
+        for handles in (self._pending_failure, self._pending_rebuild,
+                        self._pending_outage):
             for d, handle in enumerate(handles):
                 if handle is not None:
                     self._sim.cancel(handle)
@@ -165,6 +226,67 @@ class FaultInjector:
                 self._hazard[d] += rate * period
 
     # ------------------------------------------------------------------
+    # correlated fault-domain outages
+    # ------------------------------------------------------------------
+    def _schedule_outage(self, domain: int) -> None:
+        delay = float(self._domain_rngs[domain].exponential()) / self._domain_rate
+        self._pending_outage[domain] = self._sim.schedule(
+            delay, (lambda dom=domain: self._domain_outage(dom)),
+            priority=self._PRIO_DOMAIN)
+
+    def _domain_outage(self, domain: int) -> None:
+        """Fail every up disk of one fault domain at the same instant."""
+        self._pending_outage[domain] = None
+        assert self._groups is not None and self.rtracker is not None
+        victims = [d for d in self._groups.disks_in_domain(domain)
+                   if self._lifecycle[d] is DiskLifecycle.UP]
+        self.rtracker.domain_outages += 1
+        if self._trace is not None:
+            self._trace.emit(ev.FAULT_DOMAIN_OUTAGE, self._sim.now,
+                             domain=domain, disks_failed=len(victims))
+        for disk_id in victims:
+            handle = self._pending_failure[disk_id]
+            if handle is not None:
+                self._sim.cancel(handle)
+                self._pending_failure[disk_id] = None
+            self._fail(disk_id)
+        self._schedule_outage(domain)
+
+    # ------------------------------------------------------------------
+    # redundancy-group bookkeeping
+    # ------------------------------------------------------------------
+    def _serving_up(self, disk_id: int) -> bool:
+        """Serving view: a REBUILDING disk accepts (and queues) reads."""
+        return not self._array.drives[disk_id].is_failed
+
+    def _data_up(self, disk_id: int) -> bool:
+        """Redundancy view: a disk counts once its data is fully restored."""
+        return self._lifecycle[disk_id] is DiskLifecycle.UP
+
+    def _update_group_health(self, group_id: int) -> None:
+        assert self._groups is not None and self.rtracker is not None
+        new = self._groups.health_of(group_id, self._data_up)
+        old = self._group_health[group_id]
+        if new is old:
+            return
+        self._group_health[group_id] = new
+        self.rtracker.record_state_change(self._sim.now, group_id, old, new)
+        if self._trace is not None:
+            self._trace.emit(ev.REDUNDANCY_GROUP_STATE, self._sim.now,
+                             group=group_id, **{"from": old.value,
+                                                "to": new.value})
+
+    def redundancy_summary(self, ctmc: Optional[CtmcResult]) -> Optional[RedundancySummary]:
+        """Freeze the redundancy counters (None when no layout attached)."""
+        if self._groups is None or self.rtracker is None:
+            return None
+        final = tuple(h.value
+                      for h in self._groups.health_snapshot(self._data_up))
+        return self.rtracker.summarize(
+            scheme=self._groups.scheme.name, n_groups=self._groups.n_groups,
+            final_states=final, ctmc=ctmc)
+
+    # ------------------------------------------------------------------
     # disk lifecycle
     # ------------------------------------------------------------------
     def _fail(self, disk_id: int) -> None:
@@ -177,13 +299,19 @@ class FaultInjector:
 
         # data-availability census *before* the policy drops its copy
         # metadata: a file is lost (until rebuild) when every alternate
-        # copy is also down
+        # copy is also down.  Under a redundancy layout the group, not
+        # the policy, owns the copies: every file on the disk shares
+        # the group's fate, so the census is one geometry query.
         lost = 0
-        for fid in self._array.files_on(disk_id):
-            fid = int(fid)
-            if not any(alt != disk_id and self._array.disk_is_up(alt)
-                       for alt in self._policy.alternate_targets(fid)):
-                lost += 1
+        if self._groups is not None and self._groups.scheme.is_redundant:
+            if not self._groups.reconstruct_targets(disk_id, self._serving_up):
+                lost = len(self._array.files_on(disk_id))
+        else:
+            for fid in self._array.files_on(disk_id):
+                fid = int(fid)
+                if not any(alt != disk_id and self._array.disk_is_up(alt)
+                           for alt in self._policy.alternate_targets(fid)):
+                    lost += 1
         if lost:
             self.tracker.data_loss_events += 1
             self.tracker.files_lost += lost
@@ -198,6 +326,8 @@ class FaultInjector:
             self._trace.emit(ev.FAULT_INJECT, now, disk=disk_id,
                              dropped_jobs=len(dropped))
         self._policy.on_disk_failed(disk_id)
+        if self._groups is not None:
+            self._update_group_health(self._groups.group_of(disk_id))
         self._pending_rebuild[disk_id] = self._sim.schedule(
             self.config.repair_delay_s,
             (lambda disk=disk_id: self._start_rebuild(disk)),
@@ -214,10 +344,41 @@ class FaultInjector:
         if size_mb <= 0.0:
             self._finish_rebuild(disk_id, rebuild_job=None)
             return
+        if self._groups is not None and self._groups.scheme.is_redundant:
+            self._fan_rebuild_reads(disk_id, size_mb)
         self._array.submit_internal(
             disk_id, size_mb,
             on_complete=(lambda job, disk=disk_id:
                          self._on_rebuild_complete(disk, job)))
+
+    def _fan_rebuild_reads(self, disk_id: int, size_mb: float) -> None:
+        """Fan the restoration's read traffic across surviving sources.
+
+        Parity reconstruction reads one shard-run per source (``k``
+        reads of the lost disk's full used size each — the erasure
+        rebuild amplification); a mirror copy-stream splits the size
+        across the live peers.  The legs run *concurrently* with the
+        replacement's write stream (a pipelined rebuild), so their only
+        effect on completion is the queueing they inflict on survivors
+        — which is the rebuild-storm interference this path models.  A
+        lost group has no sources and keeps the bare write stream (a
+        cold restore from external backup, charged only to the
+        replacement).
+        """
+        assert self._groups is not None and self.rtracker is not None
+        sources = self._groups.rebuild_sources(disk_id, self._serving_up)
+        if not sources:
+            return
+        if self._groups.scheme.kind == "parity":
+            leg_mb = size_mb
+        else:
+            leg_mb = size_mb / len(sources)
+        self.rtracker.rebuild_read_legs += len(sources)
+        for source in sources:
+            # completion is not gated on the legs: a source dying
+            # mid-read surfaces as its own failure, not a rebuild abort
+            self._array.submit_internal(source, leg_mb,
+                                        on_complete=lambda job: None)
 
     def _on_rebuild_complete(self, disk_id: int, job: Job) -> None:
         if job.failed:
@@ -238,6 +399,11 @@ class FaultInjector:
             duration = rebuild_job.completion_time - rebuild_job.service_start
             self.tracker.rebuild_energy_j += (
                 duration * drive.params.mode(drive.speed).active_w)
+        if self.rtracker is not None:
+            down_at = self.tracker.down_since.get(disk_id)
+            if down_at is not None:
+                # failure -> data restored, the CTMC's repair time
+                self.rtracker.record_rebuild_duration(self._sim.now - down_at)
         self._lifecycle[disk_id] = DiskLifecycle.UP
         self.tracker.record_restored(disk_id, self._sim.now)
         if self._trace is not None:
@@ -247,6 +413,8 @@ class FaultInjector:
         self._budget[disk_id] = float(self._rngs[disk_id].exponential())
         self._hazard[disk_id] = 0.0
         self._policy.on_disk_restored(disk_id)
+        if self._groups is not None:
+            self._update_group_health(self._groups.group_of(disk_id))
 
     # ------------------------------------------------------------------
     # degraded-mode serving (the FaultDomain protocol)
@@ -261,6 +429,8 @@ class FaultInjector:
         if not array.drives[target].is_failed:
             return array.submit_request(request, disk_id=target,
                                         on_complete=self.on_user_job_complete)
+        if self._groups is not None and self._groups.scheme.is_redundant:
+            return self._submit_reconstruct(request, target)
         for alt in self._policy.alternate_targets(request.file_id):
             if alt != target and not array.drives[alt].is_failed:
                 self.tracker.requests_redirected += 1
@@ -290,6 +460,69 @@ class FaultInjector:
                              internal=False, reason="no_live_copy")
         self.on_user_job_complete(job)
         return job
+
+    def _submit_reconstruct(self, request: Request, target: int) -> Job:
+        """Serve a down target's data from its redundancy group.
+
+        Mirror: a full-size read from the first live copy (one leg).
+        Parity: ``k`` shard-sized internal reads fanned across
+        survivors, completing on the last leg (striped-style fan-in) —
+        the record job re-enters :meth:`on_user_job_complete` like any
+        other user job, so retries and permanent-failure accounting are
+        uniform.  No ``k`` survivors: fail fast into the retry path.
+        """
+        assert self._groups is not None and self.rtracker is not None
+        array = self._array
+        groups = self._groups
+        targets = groups.reconstruct_targets(target, self._serving_up)
+        now = self._sim.now
+        if not targets:
+            job = Job.for_request(request, on_complete=self.on_user_job_complete)
+            job.failed = True
+            if self._trace is not None:
+                self._trace.emit(ev.REQUEST_FAIL, now, disk=target,
+                                 internal=False, reason="group_unservable")
+            self.on_user_job_complete(job)
+            return job
+        self.rtracker.reconstruct_reads += 1
+        self.rtracker.reconstruct_legs += len(targets)
+        if len(targets) == 1:
+            # mirror (or k=1 parity): an ordinary redirect to the copy
+            self.tracker.requests_redirected += 1
+            if self._trace is not None:
+                self._trace.emit(ev.REQUEST_REDIRECT, now,
+                                 file=request.file_id,
+                                 **{"from": target, "to": targets[0]})
+            return array.submit_request(request, disk_id=targets[0],
+                                        on_complete=self.on_user_job_complete)
+        self.tracker.requests_redirected += 1
+        if self._trace is not None:
+            self._trace.emit(ev.REQUEST_RECONSTRUCT, now,
+                             file=request.file_id, disk=target,
+                             legs=len(targets))
+        leg_mb = request.size_mb / len(targets)
+        request.served_by = targets[0]
+        record = Job.for_request(request)
+        state = {"remaining": len(targets), "first_start": float("inf")}
+
+        def on_leg_complete(leg: Job) -> None:
+            if leg.failed:
+                record.failed = True
+            else:
+                state["first_start"] = min(state["first_start"],
+                                           leg.service_start)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                if not record.failed:
+                    request.service_start = state["first_start"]
+                    request.completion_time = self._sim.now
+                    record.completion_time = self._sim.now
+                self.on_user_job_complete(record)
+
+        for leg_disk in targets:
+            array.submit_internal(leg_disk, leg_mb,
+                                  on_complete=on_leg_complete)
+        return record
 
     def on_user_job_complete(self, job: Job) -> None:
         if not job.failed:

@@ -19,6 +19,8 @@ Request lifecycle (``disk``, ``file`` where applicable, ``internal``)
       (``file``, ``from``, ``to``)
     * ``request.retry``    — a failed user request was resubmitted
       (``file``, ``attempt``)
+    * ``request.reconstruct`` — degraded k-of-n read fanned across a
+      redundancy group's survivors (``file``, ``disk``, ``legs``)
 
 Disk state (``disk`` always)
     * ``disk.transition.begin`` — spindle speed change started
@@ -34,6 +36,12 @@ Fault lifecycle (``disk`` always)
     * ``fault.rebuild.start``    — rebuild stream submitted
       (``disk``, ``size_mb``)
     * ``fault.rebuild.complete`` — disk back in service (``disk``)
+    * ``fault.domain.outage``    — a whole fault domain failed at once
+      (``domain``, ``disks_failed``)
+
+Redundancy groups
+    * ``redundancy.group.state`` — a group changed health class
+      (``group``, ``from``, ``to`` over healthy/degraded/critical/lost)
 
 Policy decisions
     * ``policy.spin_down``     — idleness threshold expired (``disk``)
@@ -96,9 +104,11 @@ __all__ = [
     "TraceEvent",
     "REQUEST_SUBMIT", "REQUEST_DISPATCH", "REQUEST_COMPLETE",
     "REQUEST_FAIL", "REQUEST_REDIRECT", "REQUEST_RETRY",
+    "REQUEST_RECONSTRUCT",
     "DISK_TRANSITION_BEGIN", "DISK_TRANSITION_END", "DISK_REPLACE",
     "FAULT_INJECT", "FAULT_DATA_LOSS",
     "FAULT_REBUILD_START", "FAULT_REBUILD_COMPLETE",
+    "FAULT_DOMAIN_OUTAGE", "REDUNDANCY_GROUP_STATE",
     "POLICY_SPIN_DOWN", "POLICY_SPIN_UP",
     "POLICY_CACHE_HIT", "POLICY_CACHE_MISS", "POLICY_CACHE_INSERT",
     "POLICY_EPOCH", "POLICY_MIGRATE", "POLICY_STRIPE_FANOUT",
@@ -116,6 +126,7 @@ REQUEST_COMPLETE = "request.complete"
 REQUEST_FAIL = "request.fail"
 REQUEST_REDIRECT = "request.redirect"
 REQUEST_RETRY = "request.retry"
+REQUEST_RECONSTRUCT = "request.reconstruct"
 
 DISK_TRANSITION_BEGIN = "disk.transition.begin"
 DISK_TRANSITION_END = "disk.transition.end"
@@ -125,6 +136,9 @@ FAULT_INJECT = "fault.inject"
 FAULT_DATA_LOSS = "fault.data_loss"
 FAULT_REBUILD_START = "fault.rebuild.start"
 FAULT_REBUILD_COMPLETE = "fault.rebuild.complete"
+FAULT_DOMAIN_OUTAGE = "fault.domain.outage"
+
+REDUNDANCY_GROUP_STATE = "redundancy.group.state"
 
 POLICY_SPIN_DOWN = "policy.spin_down"
 POLICY_SPIN_UP = "policy.spin_up"
@@ -155,9 +169,11 @@ HARNESS_SHARD_MERGE = "harness.shard.merge"
 ALL_EVENT_TYPES: frozenset[str] = frozenset({
     REQUEST_SUBMIT, REQUEST_DISPATCH, REQUEST_COMPLETE,
     REQUEST_FAIL, REQUEST_REDIRECT, REQUEST_RETRY,
+    REQUEST_RECONSTRUCT,
     DISK_TRANSITION_BEGIN, DISK_TRANSITION_END, DISK_REPLACE,
     FAULT_INJECT, FAULT_DATA_LOSS,
     FAULT_REBUILD_START, FAULT_REBUILD_COMPLETE,
+    FAULT_DOMAIN_OUTAGE, REDUNDANCY_GROUP_STATE,
     POLICY_SPIN_DOWN, POLICY_SPIN_UP,
     POLICY_CACHE_HIT, POLICY_CACHE_MISS, POLICY_CACHE_INSERT,
     POLICY_EPOCH, POLICY_MIGRATE, POLICY_STRIPE_FANOUT,

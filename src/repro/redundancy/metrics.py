@@ -1,0 +1,119 @@
+"""Redundancy accounting: in-run tracker and its frozen summary.
+
+Mirrors the split of :mod:`repro.faults.metrics`: the injector mutates a
+:class:`RedundancyTracker` as group states change and degraded reads
+reconstruct; the runner freezes it (together with the CTMC assessment)
+into a picklable :class:`RedundancySummary` on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.redundancy.ctmc import CtmcResult
+from repro.redundancy.groups import GroupHealth
+
+__all__ = ["RedundancySummary", "RedundancyTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class RedundancySummary:
+    """Redundancy-path outcome of one run (plus the CTMC assessment)."""
+
+    #: Scheme name the run was laid out under.
+    scheme: str
+    #: Redundancy groups in the array.
+    n_groups: int
+    #: Health of each group at end of run, as enum values ("healthy"...).
+    final_states: tuple[str, ...]
+    #: Every group-health transition, as (time_s, group, from, to) in
+    #: occurrence order — deterministic at fixed seed, pinned by goldens.
+    state_changes: tuple[tuple[float, int, str, str], ...]
+    #: Degraded user reads served by reconstruction (mirror or parity).
+    reconstruct_reads: int
+    #: Internal read legs those reconstructions fanned out (k per parity
+    #: read, 1 per mirror read).
+    reconstruct_legs: int
+    #: Internal read legs fanned across survivors by rebuilds.
+    rebuild_read_legs: int
+    #: Correlated fault-domain outages injected.
+    domain_outages: int
+    #: Transitions into the LOST state summed over groups.
+    groups_lost_events: int
+    #: CTMC reliability assessment (None only when assessment failed).
+    ctmc: Optional[CtmcResult]
+
+    def state_counts(self) -> dict[str, int]:
+        """Final group states, tallied by health name."""
+        counts = {health.value: 0 for health in GroupHealth}
+        for state in self.final_states:
+            counts[state] += 1
+        return counts
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat dict for tabular reporting (merged into the result row)."""
+        counts = self.state_counts()
+        row: dict[str, object] = {
+            "redundancy": self.scheme,
+            "groups_degraded": counts[GroupHealth.DEGRADED.value],
+            "groups_critical": counts[GroupHealth.CRITICAL.value],
+            "groups_lost": counts[GroupHealth.LOST.value],
+            "reconstruct_reads": self.reconstruct_reads,
+            "reconstruct_legs": self.reconstruct_legs,
+            "rebuild_read_legs": self.rebuild_read_legs,
+            "domain_outages": self.domain_outages,
+        }
+        if self.ctmc is not None:
+            row.update(self.ctmc.summary_row())
+        return row
+
+
+@dataclass(slots=True)
+class RedundancyTracker:
+    """Mutable counters the injector updates as the run unfolds."""
+
+    state_changes: list[tuple[float, int, str, str]] = field(default_factory=list)
+    reconstruct_reads: int = 0
+    reconstruct_legs: int = 0
+    rebuild_read_legs: int = 0
+    domain_outages: int = 0
+    groups_lost_events: int = 0
+    #: summed rebuild durations (failure-replacement to data restored)
+    rebuild_seconds_total: float = 0.0
+    rebuilds_timed: int = 0
+
+    def record_state_change(self, now: float, group_id: int,
+                            old: GroupHealth, new: GroupHealth) -> None:
+        """Group ``group_id`` moved between health states at ``now``."""
+        self.state_changes.append((now, group_id, old.value, new.value))
+        if new is GroupHealth.LOST:
+            self.groups_lost_events += 1
+
+    def record_rebuild_duration(self, seconds: float) -> None:
+        """One rebuild's data-restoration stream took ``seconds``."""
+        self.rebuild_seconds_total += seconds
+        self.rebuilds_timed += 1
+
+    def mean_rebuild_s(self) -> Optional[float]:
+        """Mean measured rebuild duration, None when none completed."""
+        if self.rebuilds_timed == 0:
+            return None
+        return self.rebuild_seconds_total / self.rebuilds_timed
+
+    def summarize(self, *, scheme: str, n_groups: int,
+                  final_states: tuple[str, ...],
+                  ctmc: Optional[CtmcResult]) -> RedundancySummary:
+        """Freeze the counters into a picklable :class:`RedundancySummary`."""
+        return RedundancySummary(
+            scheme=scheme,
+            n_groups=n_groups,
+            final_states=final_states,
+            state_changes=tuple(self.state_changes),
+            reconstruct_reads=self.reconstruct_reads,
+            reconstruct_legs=self.reconstruct_legs,
+            rebuild_read_legs=self.rebuild_read_legs,
+            domain_outages=self.domain_outages,
+            groups_lost_events=self.groups_lost_events,
+            ctmc=ctmc,
+        )

@@ -1,22 +1,48 @@
 """Cost model: annualization and the worthwhileness verdict."""
 
+import math
+
 import pytest
 
 from repro.experiments.costmodel import (
     CostAssumptions,
     evaluate_worthwhileness,
     expected_failures_per_year,
+    expected_loss_events_per_year,
 )
 from repro.experiments.metrics import SimulationResult
+from repro.redundancy.ctmc import CtmcResult
+from repro.redundancy.metrics import RedundancySummary
 from repro.util.units import SECONDS_PER_YEAR
 
 
-def result(name, energy_j, afr, duration=3600.0, n_disks=10, n_requests=100):
+def make_ctmc(mttdl_array_years, scheme="mirror2"):
+    rate = (0.0 if not math.isfinite(mttdl_array_years)
+            else 1.0 / mttdl_array_years)
+    return CtmcResult(
+        scheme=scheme, n_units=5, unit_size=2, tolerance=1,
+        failure_rate_per_year=0.1, rebuild_rate_per_year=730.5,
+        rebuild_hours=12.0, mttdl_unit_years=5.0 * mttdl_array_years,
+        mttdl_array_years=mttdl_array_years, p_loss_unit=rate / 5.0,
+        p_loss_array=rate, mission_years=1.0)
+
+
+def make_summary(ctmc):
+    return RedundancySummary(
+        scheme=ctmc.scheme if ctmc else "none", n_groups=1,
+        final_states=("healthy",), state_changes=(), reconstruct_reads=0,
+        reconstruct_legs=0, rebuild_read_legs=0, domain_outages=0,
+        groups_lost_events=0, ctmc=ctmc)
+
+
+def result(name, energy_j, afr, duration=3600.0, n_disks=10, n_requests=100,
+           redundancy=None):
     return SimulationResult(
         policy_name=name, n_disks=n_disks, n_requests=n_requests,
         duration_s=duration, mean_response_s=0.01, p95_response_s=0.02,
         p99_response_s=0.03, total_energy_j=energy_j, array_afr_percent=afr,
-        per_disk=(), total_transitions=0, internal_jobs=0)
+        per_disk=(), total_transitions=0, internal_jobs=0,
+        redundancy=redundancy)
 
 
 class TestExpectedFailures:
@@ -26,11 +52,36 @@ class TestExpectedFailures:
     def test_zero_afr(self):
         assert expected_failures_per_year(0.0, 10) == 0.0
 
+    def test_zero_disks_is_legal_and_failure_free(self):
+        # an empty array cannot fail, whatever its nominal AFR
+        assert expected_failures_per_year(5.0, 0) == 0.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             expected_failures_per_year(-1.0, 10)
         with pytest.raises(ValueError):
-            expected_failures_per_year(5.0, 0)
+            expected_failures_per_year(5.0, -1)
+
+
+class TestExpectedLossEvents:
+    def test_legacy_fallback_is_per_disk_failures(self):
+        r = result("read", energy_j=1.0, afr=5.0, n_disks=10)
+        assert expected_loss_events_per_year(r) == pytest.approx(0.5)
+
+    def test_ctmc_rate_when_assessment_attached(self):
+        r = result("read", energy_j=1.0, afr=5.0, n_disks=10,
+                   redundancy=make_summary(make_ctmc(2000.0)))
+        assert expected_loss_events_per_year(r) == pytest.approx(1.0 / 2000.0)
+
+    def test_infinite_mttdl_means_no_loss(self):
+        r = result("read", energy_j=1.0, afr=5.0, n_disks=10,
+                   redundancy=make_summary(make_ctmc(float("inf"))))
+        assert expected_loss_events_per_year(r) == 0.0
+
+    def test_summary_without_ctmc_falls_back(self):
+        r = result("read", energy_j=1.0, afr=5.0, n_disks=10,
+                   redundancy=make_summary(None))
+        assert expected_loss_events_per_year(r) == pytest.approx(0.5)
 
 
 class TestAssumptions:
@@ -86,3 +137,59 @@ class TestVerdict:
         with pytest.raises(ValueError):
             evaluate_worthwhileness(result("a", 1.0, 5.0, n_requests=10),
                                     result("b", 1.0, 5.0, n_requests=20))
+
+
+class TestLossModelCoupling:
+    def test_legacy_runs_use_per_disk_afr(self):
+        verdict = evaluate_worthwhileness(result("s", 3.0e6, 20.0),
+                                          result("r", 3.6e6, 7.5))
+        assert verdict.loss_model == "per-disk-afr"
+        assert verdict.scheme_ctmc is None
+        assert verdict.reference_ctmc is None
+
+    def test_ctmc_runs_charge_loss_by_loss_rate(self):
+        """Replacement scales with disk failures; data loss only with the
+        CTMC loss-event rate — not with every failure."""
+        scheme_ctmc = make_ctmc(1000.0)
+        ref_ctmc = make_ctmc(4000.0)
+        scheme = result("s", 3.0e6, afr=20.0,
+                        redundancy=make_summary(scheme_ctmc))
+        ref = result("r", 3.6e6, afr=7.5, redundancy=make_summary(ref_ctmc))
+        a = CostAssumptions(disk_replacement_usd=300.0,
+                            data_loss_cost_usd=5000.0)
+        verdict = evaluate_worthwhileness(scheme, ref, a)
+        assert verdict.loss_model == "ctmc"
+        assert verdict.scheme_ctmc is scheme_ctmc
+        assert verdict.reference_ctmc is ref_ctmc
+        extra_failures = (20.0 - 7.5) / 100.0 * 10
+        extra_losses = 1.0 / 1000.0 - 1.0 / 4000.0
+        assert verdict.extra_failure_cost_usd_per_year == pytest.approx(
+            extra_failures * 300.0 + extra_losses * 5000.0)
+
+    def test_one_sided_ctmc_still_switches_models(self):
+        # the non-redundant side falls back to its per-disk loss rate
+        scheme = result("s", 3.0e6, afr=20.0,
+                        redundancy=make_summary(make_ctmc(1000.0)))
+        ref = result("r", 3.6e6, afr=7.5)
+        a = CostAssumptions(disk_replacement_usd=300.0,
+                            data_loss_cost_usd=5000.0)
+        verdict = evaluate_worthwhileness(scheme, ref, a)
+        assert verdict.loss_model == "ctmc"
+        assert verdict.reference_ctmc is None
+        extra_failures = (20.0 - 7.5) / 100.0 * 10
+        extra_losses = 1.0 / 1000.0 - 7.5 / 100.0 * 10
+        assert verdict.extra_failure_cost_usd_per_year == pytest.approx(
+            extra_failures * 300.0 + extra_losses * 5000.0)
+
+    def test_redundancy_makes_aggressive_idling_worthwhile(self):
+        """The PR's headline result: under the legacy model the
+        high-AFR scheme loses money, but a redundancy layout that
+        suppresses actual data loss flips the verdict."""
+        legacy = evaluate_worthwhileness(result("s", 2.4e6, 20.0),
+                                         result("r", 3.6e6, 7.5))
+        assert not legacy.worthwhile
+        shielded = evaluate_worthwhileness(
+            result("s", 2.4e6, 20.0, redundancy=make_summary(make_ctmc(1e9))),
+            result("r", 3.6e6, 7.5, redundancy=make_summary(make_ctmc(1e10))))
+        assert shielded.loss_model == "ctmc"
+        assert shielded.worthwhile

@@ -20,6 +20,7 @@ import pytest
 
 from repro.experiments.runner import ExperimentConfig, make_policy, run_simulation
 from repro.faults import FaultConfig
+from repro.redundancy import SCHEME_PRESETS
 from repro.workload.synthetic import SyntheticWorkloadConfig
 
 REL = 1e-9
@@ -118,3 +119,86 @@ class TestFaultInjectionSnapshot:
         assert again.faults == result.faults
         assert again.total_energy_j == result.total_energy_j
         assert again.mean_response_s == result.mean_response_s
+
+
+class TestRedundancySnapshot:
+    """One fault-injected ``block4-2`` cell (8 disks, one group), pinned.
+
+    The accelerated hazard pierces the group repeatedly, so this single
+    cell exercises every redundancy path: degraded k-leg reconstruction,
+    rebuild read fan-out, the full health ladder down to LOST and back,
+    and the CTMC assessment over measured rebuild times.  Regenerate
+    with the same recipe as the other snapshots (run the cell, print the
+    ``result.redundancy`` fields).
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self, workload):
+        cfg, fileset, trace = workload
+        return run_simulation(make_policy("read"), fileset, trace, n_disks=8,
+                              disk_params=cfg.disk_params,
+                              faults=FaultConfig(seed=3, accel=2e5),
+                              redundancy=SCHEME_PRESETS["block4-2"])
+
+    def test_reconstruction_counters(self, result):
+        red = result.redundancy
+        assert red.scheme == "block4-2"
+        assert red.n_groups == 1
+        assert red.reconstruct_reads == 1470
+        assert red.reconstruct_legs == 8820  # k=6 legs per reconstruct
+        assert red.rebuild_read_legs == 18
+        assert red.domain_outages == 0
+
+    def test_group_state_history(self, result):
+        red = result.redundancy
+        assert red.final_states == ("lost",)
+        assert len(red.state_changes) == 15
+        assert red.groups_lost_events == 4
+        t, gid, old, new = red.state_changes[0]
+        assert (gid, old, new) == (0, "healthy", "degraded")
+        assert t == pytest.approx(194.36058597409857, rel=REL)
+        t, gid, old, new = red.state_changes[-1]
+        assert (gid, old, new) == (0, "critical", "lost")
+        assert t == pytest.approx(3010.730722002629, rel=REL)
+
+    def test_fault_metrics_under_redundancy(self, result):
+        f = result.faults
+        assert f.disk_failures == 17
+        assert f.rebuilds_completed == 12
+        assert f.requests_failed == 2504
+        assert f.requests_retried == 5025
+        assert f.requests_redirected == 1470
+        assert f.data_loss_events == 12
+        assert f.files_lost == 443
+        assert f.availability == pytest.approx(0.6823270984241971, rel=REL)
+        assert result.total_energy_j == pytest.approx(163524.3218158209, rel=REL)
+
+    def test_ctmc_assessment(self, result):
+        c = result.redundancy.ctmc
+        assert c.scheme == "block4-2"
+        assert (c.n_units, c.unit_size, c.tolerance) == (1, 8, 2)
+        assert c.rebuild_hours == pytest.approx(0.16668084821047732, rel=REL)
+        assert c.mttdl_array_years == pytest.approx(16913484784.239271, rel=1e-6)
+        assert c.p_loss_array == pytest.approx(6.515488149005932e-11, rel=1e-6)
+
+    def test_scheme_none_is_bit_identical_to_no_redundancy(self, workload):
+        """``--redundancy none`` must not perturb anything: the run is
+        the plain run, field for field, with no summary attached."""
+        plain = _run(workload, "read")
+        none_run = _run(workload, "read", redundancy=SCHEME_PRESETS["none"])
+        assert none_run.redundancy is None
+        assert none_run.total_energy_j == plain.total_energy_j
+        assert none_run.mean_response_s == plain.mean_response_s
+        assert none_run.p99_response_s == plain.p99_response_s
+        assert none_run.array_afr_percent == plain.array_afr_percent
+        assert none_run.total_transitions == plain.total_transitions
+
+    def test_rerun_is_identical(self, workload, result):
+        cfg, fileset, trace = workload
+        again = run_simulation(make_policy("read"), fileset, trace, n_disks=8,
+                               disk_params=cfg.disk_params,
+                               faults=FaultConfig(seed=3, accel=2e5),
+                               redundancy=SCHEME_PRESETS["block4-2"])
+        assert again.redundancy == result.redundancy
+        assert again.faults == result.faults
+        assert again.total_energy_j == result.total_energy_j

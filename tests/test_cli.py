@@ -432,3 +432,54 @@ class TestFaultsFlag:
         assert rc == 0
         assert "availability [%]" in out
         assert "data-loss events" in out
+
+
+class TestRedundancyFlag:
+    def test_simulate_prints_redundancy_block(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "8",
+                   "--redundancy", "block4-2",
+                   "--faults", "seed=3,accel=200000", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "redundancy [block4-2]: 1 group(s)" in out
+        assert "degraded reads" in out
+        assert "rebuild fan-out" in out
+        assert "CTMC: MTTDL" in out
+
+    def test_redundancy_none_is_a_plain_run(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "4",
+                   "--redundancy", "none", *SMALL])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "redundancy [" not in out
+
+    def test_unknown_scheme_is_usage_error(self, capsys):
+        rc = main(["simulate", "--policy", "read", "--disks", "8",
+                   "--redundancy", "raid6", *SMALL])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown --redundancy scheme" in err
+        assert "block4-2" in err  # the error names the candidates
+
+    def test_redundancy_with_shards_is_a_capability_error(self, capsys):
+        rc = main(["sweep", "--policies", "read", "--disks", "4",
+                   "--shards", "2", "--redundancy", "mirror2", *SMALL])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--redundancy cannot be combined with --shards" in err
+
+    def test_worthwhile_reports_ctmc_and_loss_model(self, capsys):
+        rc = main(["worthwhile", "--scheme", "read", "--reference",
+                   "static-high", "--disks", "4",
+                   "--redundancy", "mirror2", *SMALL])
+        out = capsys.readouterr().out
+        assert rc in (0, 3)
+        assert "CTMC [mirror2]" in out
+        assert "loss model         : ctmc" in out
+
+    def test_worthwhile_without_redundancy_uses_legacy_model(self, capsys):
+        rc = main(["worthwhile", "--scheme", "read", "--reference",
+                   "static-high", "--disks", "4", *SMALL])
+        out = capsys.readouterr().out
+        assert rc in (0, 3)
+        assert "loss model         : per-disk-afr" in out
